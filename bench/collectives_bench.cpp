@@ -1,0 +1,68 @@
+// Extension bench: the collective-communication family on one tree.
+// Gossip (allgather) = n + r; gather (all-to-one) = n - 1 (receive-bound
+// optimal); scatter (one-to-all personalized) = deepest-first makespan;
+// broadcast = radius.  §2's applications compose exactly these.
+#include <cstdio>
+
+#include "gossip/broadcast.h"
+#include "gossip/collectives.h"
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace mg;
+  Rng rng(8);
+  const std::vector<std::pair<std::string, graph::Graph>> graphs = {
+      {"fig4", graph::fig4_network()},
+      {"line 33", graph::path(33)},
+      {"star 32", graph::star(32)},
+      {"grid 6x6", graph::grid(6, 6)},
+      {"hypercube 6", graph::hypercube(6)},
+      {"random gnp 60", graph::random_connected_gnp(60, 0.07, rng)},
+  };
+
+  TextTable table;
+  table.new_row();
+  for (const char* h :
+       {"network", "n", "r", "broadcast (r)", "gather (n-1)",
+        "scatter", "gossip (n+r)"}) {
+    table.cell(std::string(h));
+  }
+
+  bool all_ok = true;
+  for (const auto& [name, g] : graphs) {
+    const auto sol = gossip::solve_gossip(g);
+    all_ok = all_ok && sol.report.ok;
+    const auto& instance = sol.instance;
+    const auto broadcast =
+        gossip::multicast_broadcast(g, instance.tree().root());
+    const auto gather = gossip::gather_schedule(instance);
+    const auto scatter = gossip::scatter_schedule(instance);
+
+    all_ok = all_ok && broadcast.total_time() == instance.radius() &&
+             gather.total_time() == g.vertex_count() - 1u;
+
+    table.new_row();
+    table.cell(name);
+    table.cell(static_cast<std::size_t>(g.vertex_count()));
+    table.cell(static_cast<std::size_t>(instance.radius()));
+    table.cell(broadcast.total_time());
+    table.cell(gather.total_time());
+    table.cell(scatter.total_time());
+    table.cell(sol.schedule.total_time());
+  }
+
+  std::printf(
+      "Collective operations on the minimum-depth spanning tree\n"
+      "(broadcast from the center; gather/scatter at the root):\n\n%s\n"
+      "Reading: gather is receive-bound optimal (the root absorbs one\n"
+      "message per round); scatter's makespan is max_t (t + depth(d_t))\n"
+      "with deepest destinations emitted first; gossip = gather + scatter\n"
+      "semantics fused into the paper's single n + r pipeline.\n"
+      "all checks: %s\n",
+      table.render().c_str(), all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// Experiment B5 (§3.1/§4 complexity claims), on google-benchmark:
+//   * "finding a minimum-depth spanning tree ... takes O(mn) time" — the
+//     n-BFS sweep, sequential and thread-pool parallel;
+//   * "all the other steps of the algorithm to construct the schedule take
+//     O(n) time" per processor — schedule construction scaling;
+//   * validator throughput (the test oracle's own cost).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/instance.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "model/validator.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "tree/spanning_tree.h"
+
+namespace {
+
+using namespace mg;
+
+graph::Graph make_geometric(graph::Vertex n) {
+  Rng rng(0xabc + n);
+  return graph::random_geometric(n, 2.0 / std::sqrt(static_cast<double>(n)),
+                                 rng);
+}
+
+void BM_SingleBfsTree(benchmark::State& state) {
+  const auto g = make_geometric(static_cast<graph::Vertex>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::bfs_tree(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SingleBfsTree)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_MinDepthTreeSequential(benchmark::State& state) {
+  const auto g = make_geometric(static_cast<graph::Vertex>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::min_depth_spanning_tree(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinDepthTreeSequential)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+void BM_MinDepthTreeParallel(benchmark::State& state) {
+  const auto g = make_geometric(static_cast<graph::Vertex>(state.range(0)));
+  ThreadPool pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::min_depth_spanning_tree(g, &pool));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MinDepthTreeParallel)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->UseRealTime()
+    ->Complexity();
+
+void BM_ScheduleConstruction(benchmark::State& state) {
+  // Schedule construction alone, on a prebuilt tree: the paper's O(n)
+  // per-processor claim shows as near-linear total work (the schedule
+  // object itself has Theta(n^2) deliveries, dominating at scale).
+  Rng rng(1);
+  const auto g = graph::random_tree(
+      static_cast<graph::Vertex>(state.range(0)), rng);
+  const gossip::Instance instance(tree::root_tree_graph(g, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gossip::concurrent_updown(instance));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleConstruction)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+void BM_ValidatorThroughput(benchmark::State& state) {
+  Rng rng(2);
+  const auto g = graph::random_tree(
+      static_cast<graph::Vertex>(state.range(0)), rng);
+  const gossip::Instance instance(tree::root_tree_graph(g, 0));
+  const auto schedule = gossip::concurrent_updown(instance);
+  const auto tree_graph = instance.tree().as_graph();
+  const auto initial = instance.initial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::validate_schedule(tree_graph, schedule, initial));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ValidatorThroughput)
+    ->RangeMultiplier(4)
+    ->Range(64, 1024)
+    ->Complexity();
+
+void BM_EndToEndSolve(benchmark::State& state) {
+  const auto g = make_geometric(static_cast<graph::Vertex>(state.range(0)));
+  for (auto _ : state) {
+    auto instance = gossip::Instance::from_network(g);
+    benchmark::DoNotOptimize(gossip::concurrent_updown(instance));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EndToEndSolve)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Extension bench (§4: "one has to execute the gossiping algorithms a
+// large number of times"): steady-state throughput of repeated gossiping.
+// Back-to-back execution costs n + r per gossip; pipelining consecutive
+// gossips at the minimal conflict-free period cuts the amortized cost to
+// the period, which approaches the n - 1 receive-capacity floor.
+#include <cstdio>
+
+#include "gossip/repeated.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace mg;
+  Rng rng(4);
+  const std::vector<std::pair<std::string, graph::Graph>> graphs = {
+      {"fig4", graph::fig4_network()},
+      {"line 21", graph::path(21)},
+      {"star 20", graph::star(20)},
+      {"grid 5x5", graph::grid(5, 5)},
+      {"hypercube 5", graph::hypercube(5)},
+      {"binary tree 31", graph::k_ary_tree(31, 2)},
+      {"random tree 40", graph::random_tree(40, rng)},
+  };
+  constexpr std::size_t kCopies = 8;
+
+  TextTable table;
+  table.new_row();
+  for (const char* h :
+       {"network", "n", "r", "single (n+r)", "period", "floor n-1",
+        "8x back-to-back", "8x pipelined", "amortized", "speedup"}) {
+    table.cell(std::string(h));
+  }
+
+  bool all_ok = true;
+  for (const auto& [name, g] : graphs) {
+    const auto instance = gossip::Instance::from_network(g);
+    const auto plain = gossip::repeated_gossip(instance, kCopies, false);
+    const auto packed = gossip::repeated_gossip(instance, kCopies, true);
+    const auto report = model::validate_schedule_general(
+        instance.tree().as_graph(), packed.schedule, packed.initial_sets,
+        packed.message_count);
+    all_ok = all_ok && report.ok;
+    if (!report.ok) std::printf("%s: %s\n", name.c_str(), report.error.c_str());
+
+    table.new_row();
+    table.cell(name);
+    table.cell(static_cast<std::size_t>(g.vertex_count()));
+    table.cell(static_cast<std::size_t>(instance.radius()));
+    table.cell(static_cast<std::size_t>(g.vertex_count()) +
+               instance.radius());
+    table.cell(packed.period);
+    table.cell(static_cast<std::size_t>(g.vertex_count()) - 1);
+    table.cell(plain.total_time);
+    table.cell(packed.total_time);
+    table.cell(packed.amortized_time, 2);
+    table.cell(static_cast<double>(plain.total_time) /
+                   static_cast<double>(packed.total_time),
+               2);
+  }
+
+  std::printf(
+      "Pipelined repeated gossip (8 consecutive gossips on a fixed tree):\n\n"
+      "%s\nall combined schedules valid under the model: %s\n\n"
+      "Finding: the minimal conflict-free period almost always equals the\n"
+      "single-gossip time n + r -- ConcurrentUpDown already keeps the\n"
+      "deepest leaves' receive slots busy in a near-contiguous block, so\n"
+      "there is no idle capacity for a second gossip to slot into (only\n"
+      "depth-1 trees such as stars leave a sliver).  Repeated gossiping\n"
+      "therefore costs n + r per instance, amortizing the O(mn) tree\n"
+      "construction exactly as §4 prescribes, and the throughput floor\n"
+      "1/(n-1) set by receive capacity is approached within r+1 rounds.\n",
+      table.render().c_str(), all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

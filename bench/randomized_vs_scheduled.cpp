@@ -1,0 +1,82 @@
+// Extension bench: the decentralized alternative.  Randomized push(-pull)
+// rumor spreading (the paper's related-work family [6]) needs no global
+// knowledge at all — but under the model's one-receive-per-round rule its
+// collisions and duplicate deliveries cost a large constant over the
+// offline n + r schedule.  Reported: mean rounds over seeds, message
+// overhead (deliveries per useful delivery), and collision counts.
+#include <cstdio>
+
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "sim/randomized.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace mg;
+  Rng seed_rng(0xfeed);
+  const std::vector<std::pair<std::string, graph::Graph>> graphs = {
+      {"complete 32", graph::complete(32)},
+      {"cycle 32", graph::cycle(32)},
+      {"grid 6x6", graph::grid(6, 6)},
+      {"hypercube 5", graph::hypercube(5)},
+      {"star 32", graph::star(32)},
+      {"petersen", graph::petersen()},
+  };
+  constexpr int kTrials = 20;
+
+  TextTable table;
+  table.new_row();
+  for (const char* h :
+       {"network", "n", "scheduled (n+r)", "push mean", "push-pull mean",
+        "overhead x", "collision %"}) {
+    table.cell(std::string(h));
+  }
+
+  for (const auto& [name, g] : graphs) {
+    const auto sol = gossip::solve_gossip(g);
+
+    double push_rounds = 0;
+    double pull_rounds = 0;
+    double useful = 0;
+    double delivered = 0;
+    double offered = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(seed_rng());
+      const auto push = sim::randomized_gossip(g, rng);
+      push_rounds += static_cast<double>(push.rounds);
+      delivered += static_cast<double>(push.transmissions);
+      useful += static_cast<double>(push.transmissions - push.useless);
+      offered +=
+          static_cast<double>(push.transmissions + push.collisions);
+
+      Rng rng2(seed_rng());
+      sim::RandomizedOptions with_pull;
+      with_pull.pull = true;
+      pull_rounds += static_cast<double>(
+          sim::randomized_gossip(g, rng2, with_pull).rounds);
+    }
+
+    table.new_row();
+    table.cell(name);
+    table.cell(static_cast<std::size_t>(g.vertex_count()));
+    table.cell(sol.schedule.total_time());
+    table.cell(push_rounds / kTrials, 1);
+    table.cell(pull_rounds / kTrials, 1);
+    table.cell(delivered / useful, 2);
+    table.cell(100.0 * (offered - delivered) / offered, 1);
+  }
+
+  std::printf(
+      "Randomized push(-pull) rumor spreading vs the offline n + r "
+      "schedule\n(%d seeds per cell; 'overhead' = deliveries per NEW "
+      "delivery;\n'collision %%' = offers lost to the one-receive-per-round "
+      "rule):\n\n%s\n"
+      "Reading: the offline schedule needs global topology knowledge once\n"
+      "(O(mn) preprocessing) and then runs collision-free at the n + r\n"
+      "optimum-within-1.5x; the randomized protocol needs nothing but pays\n"
+      "an order of magnitude in rounds and messages under this model.\n",
+      kTrials, table.render().c_str());
+  return 0;
+}

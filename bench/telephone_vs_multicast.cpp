@@ -1,0 +1,63 @@
+// Experiment B8 (§2): "multicasting is a much more efficient way to
+// communicate".  Quantified: the greedy telephone (unicast) gossip on the
+// same minimum-depth tree vs ConcurrentUpDown.  The advantage factor grows
+// with the tree's branching (hubs must serve children one at a time) and
+// vanishes on paths (degree 2).
+#include <cstdio>
+
+#include "gossip/solve.h"
+#include "gossip/telephone.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace mg;
+  Rng rng(3);
+  const std::vector<std::pair<std::string, graph::Graph>> graphs = {
+      {"line 25", graph::path(25)},
+      {"cycle 24", graph::cycle(24)},
+      {"caterpillar 8x3", graph::caterpillar(8, 3)},
+      {"binary tree 31", graph::k_ary_tree(31, 2)},
+      {"ternary tree 40", graph::k_ary_tree(40, 3)},
+      {"star 24", graph::star(24)},
+      {"star 48", graph::star(48)},
+      {"grid 5x5", graph::grid(5, 5)},
+      {"hypercube 5", graph::hypercube(5)},
+      {"random gnp 40", graph::random_connected_gnp(40, 0.1, rng)},
+  };
+
+  TextTable table;
+  table.new_row();
+  for (const char* h :
+       {"network", "n", "r", "multicast (n+r)", "telephone", "factor",
+        "telephone load bound", "max fanout used"}) {
+    table.cell(std::string(h));
+  }
+
+  bool all_ok = true;
+  for (const auto& [name, g] : graphs) {
+    const auto multicast = gossip::solve_gossip(g);
+    const auto phone = gossip::solve_gossip(g, gossip::Algorithm::kTelephone);
+    all_ok = all_ok && multicast.report.ok && phone.report.ok;
+
+    table.new_row();
+    table.cell(name);
+    table.cell(static_cast<std::size_t>(g.vertex_count()));
+    table.cell(static_cast<std::size_t>(multicast.instance.radius()));
+    table.cell(multicast.schedule.total_time());
+    table.cell(phone.schedule.total_time());
+    table.cell(static_cast<double>(phone.schedule.total_time()) /
+                   static_cast<double>(multicast.schedule.total_time()),
+               2);
+    table.cell(gossip::telephone_tree_load_bound(multicast.instance));
+    table.cell(multicast.schedule.max_fanout());
+  }
+
+  std::printf(
+      "B8 / §2: telephone (unicast) vs multicast gossip on the same tree\n\n"
+      "%s\nall valid: %s\n",
+      table.render().c_str(), all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// Experiment B7 (§4 weighted gossiping): chain splitting turns a network
+// whose processor v holds l_v messages into a virtual tree of N = sum l_v
+// nodes; ConcurrentUpDown then finishes in N + r_virtual rounds.  The bench
+// sweeps weight distributions and reports the projection load a real
+// processor bears when mimicking its chain (external sends/receives per
+// round).
+#include <cstdio>
+#include <numeric>
+
+#include "gossip/weighted.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "model/validator.h"
+#include "support/rng.h"
+#include "support/table.h"
+
+int main() {
+  using namespace mg;
+  Rng rng(0x11);
+
+  struct Case {
+    std::string name;
+    graph::Graph g;
+    std::vector<std::uint32_t> weights;
+  };
+  std::vector<Case> cases;
+  {
+    const auto g = graph::fig4_network();
+    cases.push_back({"fig4, unit weights", g,
+                     std::vector<std::uint32_t>(16, 1)});
+    std::vector<std::uint32_t> heavy(16, 1);
+    heavy[0] = 4;
+    heavy[4] = 3;
+    cases.push_back({"fig4, heavy root+hub", g, heavy});
+  }
+  {
+    const auto g = graph::grid(4, 4);
+    std::vector<std::uint32_t> random_w(16);
+    for (auto& w : random_w) {
+      w = 1 + static_cast<std::uint32_t>(rng.below(4));
+    }
+    cases.push_back({"grid 4x4, weights U[1,4]", g, random_w});
+  }
+  {
+    const auto g = graph::star(9);
+    std::vector<std::uint32_t> hub(9, 1);
+    hub[0] = 8;
+    cases.push_back({"star 9, hub weight 8", g, hub});
+    cases.push_back({"star 9, leaves weight 3",
+                     g, std::vector<std::uint32_t>{1, 3, 3, 3, 3, 3, 3, 3, 3}});
+  }
+  {
+    const auto g = graph::cycle(12);
+    std::vector<std::uint32_t> alternating(12, 1);
+    for (std::size_t v = 0; v < 12; v += 2) alternating[v] = 2;
+    cases.push_back({"cycle 12, alternating 2/1", g, alternating});
+  }
+
+  TextTable table;
+  table.new_row();
+  for (const char* h :
+       {"case", "n", "N=sum l_v", "r_virtual", "rounds", "N+r", "match",
+        "max ext sends", "max ext recvs"}) {
+    table.cell(std::string(h));
+  }
+
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    const auto result = gossip::weighted_gossip(c.g, c.weights);
+    const auto report = model::validate_schedule(
+        result.virtual_instance.tree().as_graph(), result.schedule,
+        result.virtual_instance.initial());
+    const bool match =
+        report.ok &&
+        result.schedule.total_time() ==
+            result.total_messages + result.virtual_radius;
+    all_ok = all_ok && match;
+
+    table.new_row();
+    table.cell(c.name);
+    table.cell(static_cast<std::size_t>(c.g.vertex_count()));
+    table.cell(result.total_messages);
+    table.cell(static_cast<std::size_t>(result.virtual_radius));
+    table.cell(result.schedule.total_time());
+    table.cell(result.total_messages + result.virtual_radius);
+    table.cell(std::string(match ? "yes" : "NO"));
+    table.cell(result.max_external_sends);
+    table.cell(result.max_external_receives);
+  }
+
+  std::printf(
+      "B7 / §4: weighted gossiping by chain splitting\n"
+      "(time == N + r_virtual; external load = real-edge traffic a "
+      "processor\nhandles per round while mimicking its chain)\n\n%s\nall "
+      "valid: %s\n",
+      table.render().c_str(), all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+// k-port interpolation between the paper's two communication models.
+//
+// The multicast model lets one send reach arbitrarily many neighbors; the
+// telephone model caps it at one.  Real routers and NICs sit in between
+// (c-port multicast).  `bounded_fanout_gossip` runs the greedy concurrent
+// up/down tree gossip with every downward transmission limited to at most
+// `fanout_cap` receivers:
+//
+//   * cap = 1            -> the telephone baseline (telephone.h),
+//   * cap >= max children -> the greedy UpDown reconstruction (updown.h),
+//   * the sweep in bench/fanout_sweep quantifies how much multicast width
+//     the n + r result actually needs.
+//
+// The fixed up phase is Simple's (already unicast): the vertex at level k
+// holding subtree message m forwards it at time m - k, so the root receives
+// message m at time m.  The down phase is a greedy store-and-forward relay
+// with per-child delivery tracking, avoiding the reserved up-phase slots.
+#pragma once
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// Unlimited fanout sentinel.
+inline constexpr graph::Vertex kUnboundedFanout =
+    static_cast<graph::Vertex>(-1);
+
+/// Greedy tree gossip with downward multicasts capped at `fanout_cap`
+/// receivers (>= 1).  The schedule is feasible and complete on the
+/// instance's tree; with cap 1 it satisfies `Schedule::is_telephone()`.
+[[nodiscard]] model::Schedule bounded_fanout_gossip(
+    const Instance& instance, graph::Vertex fanout_cap = kUnboundedFanout);
+
+}  // namespace mg::gossip

@@ -1,0 +1,42 @@
+// Lower bounds and approximation-ratio helpers (§1, §4).
+//
+//  * Every gossip schedule needs at least n - 1 rounds: each processor must
+//    receive n - 1 messages, one per round at most.
+//  * On the straight-line network with n = 2m + 1 processors, every
+//    schedule needs at least n + r - 1 rounds (r = m = radius): the center
+//    cannot have all n messages before time n - 1, and the last message to
+//    arrive still needs m more steps to reach both ends.
+//  * Since the radius satisfies r <= n / 2, the n + r schedule of
+//    ConcurrentUpDown is within a factor 1.5 of optimal on every network.
+#pragma once
+
+#include <cstddef>
+
+namespace mg::gossip {
+
+/// Trivial bound: n - 1 for every network (0 for n <= 1).
+[[nodiscard]] constexpr std::size_t trivial_lower_bound(std::size_t n) {
+  return n <= 1 ? 0 : n - 1;
+}
+
+/// §1's bound for the odd straight line P_n, n = 2m + 1: n + r - 1 with
+/// r = m.  Precondition: n odd, n >= 3.
+[[nodiscard]] constexpr std::size_t odd_line_lower_bound(std::size_t n) {
+  return n + (n - 1) / 2 - 1;
+}
+
+/// The algorithm's guarantee on a network of radius r: n + r.
+[[nodiscard]] constexpr std::size_t concurrent_updown_time(std::size_t n,
+                                                           std::size_t r) {
+  return n <= 1 ? 0 : n + r;
+}
+
+/// Worst-case approximation ratio implied by r <= n/2 and OPT >= n - 1:
+/// (n + r) / (n - 1).
+[[nodiscard]] constexpr double approx_ratio_bound(std::size_t n,
+                                                  std::size_t r) {
+  return n <= 1 ? 1.0
+                : static_cast<double>(n + r) / static_cast<double>(n - 1);
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,20 @@
+// §2: broadcasting under the multicast model is trivially optimal — at
+// time 0 the source multicasts to all its neighbors; afterwards every
+// processor that just received the message multicasts it to the neighbors
+// that still lack it, with ties (two candidate senders for one receiver)
+// broken offline.  Processor v receives the message exactly at time
+// dist(source, v), so the total communication time equals the source's
+// eccentricity.
+#pragma once
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// Optimal multicast broadcast schedule from `source` on a connected graph.
+/// The schedule carries only message id `source`.
+[[nodiscard]] model::Schedule multicast_broadcast(const graph::Graph& g,
+                                                  graph::Vertex source);
+
+}  // namespace mg::gossip

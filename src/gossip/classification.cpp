@@ -1,0 +1,32 @@
+#include "gossip/classification.h"
+
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+Role classify(const DfsLabeling& labels, Vertex v, Label m) {
+  const Label i = labels.label(v);
+  const Label j = labels.subtree_end(v);
+  if (m < i || m > j) return Role::kOther;
+  if (m == i) return Role::kStart;
+  if (m == i + 1) return Role::kLookahead;
+  return Role::kRemaining;
+}
+
+bool is_lip(const RootedTree& tree, const DfsLabeling& labels, Vertex v,
+            Label m) {
+  MG_EXPECTS(!tree.is_root(v));
+  const Label i = labels.label(v);
+  return m == i && labels.lip_count(v) == 1;
+}
+
+bool is_rip(const RootedTree& tree, const DfsLabeling& labels, Vertex v,
+            Label m) {
+  MG_EXPECTS(!tree.is_root(v));
+  const Label i = labels.label(v);
+  const Label j = labels.subtree_end(v);
+  const Label first_rip = i + labels.lip_count(v);
+  return m >= first_rip && m <= j;
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,46 @@
+// §3.2 message taxonomy.  Relative to a non-root vertex v whose subtree
+// holds messages [i, j] and whose parent's subtree holds [i', j']:
+//
+//   * o-messages: 0..i-1 and j+1..n-1 (originating elsewhere);
+//   * b-messages: i..j, partitioned w.r.t. v into the starting message i
+//     (s-message), the lookahead message i+1 (l-message, when i+1 <= j) and
+//     the remaining messages i+2..j (r-messages);
+//   * b-messages are also partitioned w.r.t. v's parent: message i is the
+//     lookahead-in-parent (lip) message when i = i' + 1, and messages
+//     max{i, i'+2}..j are the remaining-in-parent (rip) messages.
+//
+// The root's messages are labeled with i = 0: 1 is the l-message, 2..n-1
+// are r-messages, all are rip-messages and there is no lip-message.
+#pragma once
+
+#include <cstdint>
+
+#include "tree/labeling.h"
+
+namespace mg::gossip {
+
+using tree::DfsLabeling;
+using tree::Label;
+using tree::RootedTree;
+using tree::Vertex;
+
+/// Role of a message relative to a vertex v.
+enum class Role : std::uint8_t {
+  kOther,      ///< o-message: originates outside v's subtree
+  kStart,      ///< s-message: v's own message i
+  kLookahead,  ///< l-message: i + 1 (when v is not a leaf)
+  kRemaining,  ///< r-messages: i + 2 .. j
+};
+
+/// Classifies message `m` relative to vertex `v`.
+[[nodiscard]] Role classify(const DfsLabeling& labels, Vertex v, Label m);
+
+/// True when `m` is the lip-message of non-root `v`: m == i and i == i'+1.
+[[nodiscard]] bool is_lip(const RootedTree& tree, const DfsLabeling& labels,
+                          Vertex v, Label m);
+
+/// True when `m` is a rip-message of non-root `v`: max{i, i'+2} <= m <= j.
+[[nodiscard]] bool is_rip(const RootedTree& tree, const DfsLabeling& labels,
+                          Vertex v, Label m);
+
+}  // namespace mg::gossip

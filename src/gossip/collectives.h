@@ -1,0 +1,32 @@
+// Companion collectives on the gossip tree: gather (all-to-one) and
+// scatter (one-to-all personalized).  Gossiping composes them — §2's
+// applications (sorting, matrix multiplication, DFT) use all three — and
+// both inherit the paper's machinery: gather is Propagate-Up's delivery
+// guarantee in isolation (the root receives message m at time m, which is
+// optimal since the root can absorb only one message per round), and
+// scatter is its time-reversed dual (the root emits one message per round;
+// serving deeper destinations first is optimal by an exchange argument).
+#pragma once
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// All-to-one: every processor's message reaches the root.  Unicast; the
+/// root receives message m exactly at time m, so the total time is n - 1 —
+/// optimal (the root receives at most one message per round).
+[[nodiscard]] model::Schedule gather_schedule(const Instance& instance);
+
+/// One-to-all personalized: the root initially holds one message per
+/// processor (message id = the destination's DFS label); after the
+/// schedule, processor v has received message label(v).  Deepest
+/// destinations are served first; the total time is
+/// max_t (t + depth(d_t)) over the emission order, which the
+/// deepest-first order minimizes.
+[[nodiscard]] model::Schedule scatter_schedule(const Instance& instance);
+
+/// The scatter schedule's optimal total time for this instance.
+[[nodiscard]] std::size_t scatter_time(const Instance& instance);
+
+}  // namespace mg::gossip

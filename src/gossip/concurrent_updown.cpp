@@ -1,0 +1,187 @@
+#include "gossip/concurrent_updown.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+namespace {
+
+using model::Message;
+using model::Schedule;
+using model::Transmission;
+using tree::Label;
+using tree::Vertex;
+
+/// One sender-side event; receivers stay sorted for Schedule::add.
+struct SendEvent {
+  std::size_t time = 0;
+  Message message = 0;
+  Vertex sender = 0;
+  std::vector<Vertex> receivers;
+};
+
+std::vector<SendEvent> up_events(const Instance& instance,
+                                 const ConcurrentUpDownOptions& options) {
+  const auto& tree = instance.tree();
+  const auto& labels = instance.labels();
+  std::vector<SendEvent> events;
+  for (Vertex v = 0; v < tree.vertex_count(); ++v) {
+    if (tree.is_root(v)) continue;
+    const Label i = labels.label(v);
+    const Label j = labels.subtree_end(v);
+    const std::uint32_t k = tree.level(v);
+    const std::uint32_t w =
+        options.lookahead_at_time_zero ? labels.lip_count(v) : 0;
+    MG_ASSERT(i >= k);  // DFS preorder label is at least the depth
+    // (U3): the lip-message leaves for the parent at time 0.
+    if (w == 1) {
+      events.push_back({0, i, v, {tree.parent(v)}});
+    }
+    // (U4): rip-messages i+w..j leave sequentially at times i-k+w..j-k.
+    for (Label m = i + w; m <= j; ++m) {
+      events.push_back({m - k, m, v, {tree.parent(v)}});
+    }
+  }
+  return events;
+}
+
+std::vector<SendEvent> down_events(const Instance& instance) {
+  const auto& tree = instance.tree();
+  const auto& labels = instance.labels();
+  const Vertex n = tree.vertex_count();
+  std::vector<SendEvent> events;
+  // (D1) arrivals from the parent, filled in top-down while emitting the
+  // parents' (D2)/(D3) sends; preorder guarantees parents are processed
+  // before their children.
+  std::vector<std::vector<std::pair<std::size_t, Message>>> arrivals(n);
+
+  auto emit = [&](std::size_t t, Message m, Vertex sender,
+                  std::vector<Vertex> receivers) {
+    for (Vertex r : receivers) arrivals[r].emplace_back(t + 1, m);
+    events.push_back({t, m, sender, std::move(receivers)});
+  };
+
+  for (Vertex v : tree.preorder()) {
+    if (tree.is_leaf(v)) continue;
+    const Label i = labels.label(v);
+    const Label j = labels.subtree_end(v);
+    const std::uint32_t k = tree.level(v);
+    const auto& children = tree.children(v);
+
+    // (D3): b-messages i..j go down at times i-k..j-k in label order, each
+    // skipping the child that already owns it; message i goes to all
+    // children, delayed to time j-k+1 when i == k (it would otherwise
+    // collide with the first child's (U1) lookahead receive at time 1).
+    for (Label m = i; m <= j; ++m) {
+      std::vector<Vertex> receivers;
+      if (m == i) {
+        receivers = children;
+      } else {
+        const Vertex owner = labels.child_owning(v, m);
+        receivers.reserve(children.size() - 1);
+        for (Vertex c : children) {
+          if (c != owner) receivers.push_back(c);
+        }
+        if (receivers.empty()) continue;
+      }
+      const std::size_t t = (m == i && i == k)
+                                ? static_cast<std::size_t>(j - k + 1)
+                                : static_cast<std::size_t>(m - k);
+      emit(t, m, v, std::move(receivers));
+    }
+
+    // (D2): o-messages relayed to all children the round they arrive from
+    // the parent, except arrivals at times i-k and i-k+1, which wait until
+    // j-k+1 and j-k+2 (the send slots i-k..j-k are taken by (D3)).
+    if (!tree.is_root(v)) {
+      auto relayed = arrivals[v];  // copy: emit() grows arrivals of children
+      std::sort(relayed.begin(), relayed.end());
+      for (const auto& [t_arrive, m] : relayed) {
+        MG_ASSERT_MSG(!labels.is_body(v, m),
+                      "parent never sends v its own subtree's messages");
+        std::size_t t_send = t_arrive;
+        if (t_arrive == static_cast<std::size_t>(i - k)) {
+          t_send = j - k + 1;
+        } else if (t_arrive == static_cast<std::size_t>(i - k) + 1) {
+          t_send = static_cast<std::size_t>(j - k) + 2;
+        }
+        emit(t_send, m, v, children);
+      }
+    }
+  }
+  return events;
+}
+
+Schedule merge_events(std::vector<SendEvent> up, std::vector<SendEvent> down) {
+  std::vector<SendEvent> all;
+  all.reserve(up.size() + down.size());
+  std::move(up.begin(), up.end(), std::back_inserter(all));
+  std::move(down.begin(), down.end(), std::back_inserter(all));
+  std::sort(all.begin(), all.end(), [](const SendEvent& a, const SendEvent& b) {
+    return std::tie(a.time, a.sender, a.message) <
+           std::tie(b.time, b.sender, b.message);
+  });
+
+  Schedule schedule;
+  for (std::size_t idx = 0; idx < all.size();) {
+    SendEvent& event = all[idx];
+    std::vector<Vertex> receivers = std::move(event.receivers);
+    std::size_t next = idx + 1;
+    while (next < all.size() && all[next].time == event.time &&
+           all[next].sender == event.sender) {
+      // Theorem 1: overlapping up/down sends always carry the same message,
+      // so they fuse into one multicast (parent + child subset).
+      MG_ASSERT_MSG(all[next].message == event.message,
+                    "up/down schedules send different messages at one time");
+      receivers.insert(receivers.end(), all[next].receivers.begin(),
+                       all[next].receivers.end());
+      ++next;
+    }
+    std::sort(receivers.begin(), receivers.end());
+    receivers.erase(std::unique(receivers.begin(), receivers.end()),
+                    receivers.end());
+    schedule.add(event.time,
+                 Transmission{event.message, event.sender, std::move(receivers)});
+    idx = next;
+  }
+  schedule.trim();
+  return schedule;
+}
+
+}  // namespace
+
+Schedule propagate_up(const Instance& instance,
+                      const ConcurrentUpDownOptions& options) {
+  Schedule schedule;
+  for (auto& event : up_events(instance, options)) {
+    schedule.add(event.time, Transmission{event.message, event.sender,
+                                          std::move(event.receivers)});
+  }
+  schedule.trim();
+  return schedule;
+}
+
+Schedule propagate_down(const Instance& instance) {
+  Schedule schedule;
+  auto events = down_events(instance);
+  std::sort(events.begin(), events.end(),
+            [](const SendEvent& a, const SendEvent& b) {
+              return std::tie(a.time, a.sender) < std::tie(b.time, b.sender);
+            });
+  for (auto& event : events) {
+    schedule.add(event.time, Transmission{event.message, event.sender,
+                                          std::move(event.receivers)});
+  }
+  schedule.trim();
+  return schedule;
+}
+
+Schedule concurrent_updown(const Instance& instance,
+                           const ConcurrentUpDownOptions& options) {
+  return merge_events(up_events(instance, options), down_events(instance));
+}
+
+}  // namespace mg::gossip

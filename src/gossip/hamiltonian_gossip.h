@@ -1,0 +1,27 @@
+// §1 / Fig. 1: when the network has a Hamiltonian circuit, gossiping is
+// solved optimally in n - 1 rounds by rotation — in round 0 every processor
+// sends its own message to its clockwise neighbor, and in every later round
+// it forwards the message it just received.  The schedule is unicast, so it
+// is optimal under the telephone model too.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "graph/hamiltonian.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// Builds the n-1-round rotation schedule along the given circuit (a
+/// permutation of 0..n-1; consecutive vertices, and last-to-first, must be
+/// adjacent in `g`).  Message ids are processor ids.
+[[nodiscard]] model::Schedule rotation_schedule(
+    const graph::Graph& g, const std::vector<graph::Vertex>& circuit);
+
+/// Searches for a Hamiltonian circuit (budgeted exact backtracking) and, if
+/// one is found, returns the optimal rotation schedule.
+[[nodiscard]] std::optional<model::Schedule> hamiltonian_gossip(
+    const graph::Graph& g, std::uint64_t node_budget = 50'000'000);
+
+}  // namespace mg::gossip

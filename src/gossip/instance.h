@@ -1,0 +1,62 @@
+// A tree-gossip problem instance: the rooted (minimum-depth) spanning tree
+// plus its DFS message labeling.  All §3.2 algorithms consume this bundle.
+//
+// Message ids in every schedule produced from an Instance are DFS *labels*:
+// processor v initially holds message labels().label(v) (see `initial()`).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "tree/labeling.h"
+#include "tree/spanning_tree.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::gossip {
+
+class Instance {
+ public:
+  /// Wraps an existing rooted tree (any spanning tree; the paper's bound
+  /// n + height follows whatever tree is supplied).
+  explicit Instance(tree::RootedTree t)
+      : tree_(std::make_unique<tree::RootedTree>(std::move(t))),
+        labels_(std::make_unique<tree::DfsLabeling>(*tree_)) {}
+
+  /// §3.1: reduces gossiping on an arbitrary connected network to the
+  /// minimum-depth spanning tree, so height() == network radius.
+  static Instance from_network(const graph::Graph& g,
+                               ThreadPool* pool = nullptr) {
+    return Instance(tree::min_depth_spanning_tree(g, pool));
+  }
+
+  [[nodiscard]] const tree::RootedTree& tree() const { return *tree_; }
+  [[nodiscard]] const tree::DfsLabeling& labels() const { return *labels_; }
+
+  [[nodiscard]] graph::Vertex vertex_count() const {
+    return tree_->vertex_count();
+  }
+
+  /// Tree height r; equals the network radius for `from_network` instances.
+  [[nodiscard]] std::uint32_t radius() const { return tree_->height(); }
+
+  /// Initial hold assignment for the model validator: processor v holds the
+  /// message whose id is v's DFS label.
+  [[nodiscard]] std::vector<model::Message> initial() const {
+    std::vector<model::Message> init(vertex_count());
+    for (graph::Vertex v = 0; v < vertex_count(); ++v) {
+      init[v] = labels_->label(v);
+    }
+    return init;
+  }
+
+ private:
+  std::unique_ptr<tree::RootedTree> tree_;   // stable address: labels_
+  std::unique_ptr<tree::DfsLabeling> labels_;  // holds a pointer to *tree_
+};
+
+}  // namespace mg::gossip

@@ -1,0 +1,71 @@
+// §4's omitted algorithm, reconstructed: optimal gossiping on the odd
+// straight-line network.
+//
+// The paper proves every schedule on the line with n = 2m + 1 processors
+// needs at least n + r - 1 = 3m rounds, notes that ConcurrentUpDown pays
+// n + r, and remarks: "One may improve the performance of our algorithm by
+// one unit, but the protocol for each processor will not be uniform and the
+// algorithm will be much more complex.  The reason is that one needs to
+// alternate the delivery of messages from different subtrees."  The
+// construction itself is not given.  This module supplies one.
+//
+// Construction (positions -m..+m around the center, mu(p) = the message of
+// position p):
+//   * The center alternates arms: mu(-q) arrives at time 2q-1, mu(+q) at
+//     2q; each arrival is relayed to the opposite arm the same round; the
+//     center's own message goes both ways at time 0.
+//   * Left arm: -q launches its message at q - 1 as one multicast to both
+//     neighbors; inward relays are immediate (-r forwards mu(-q) at
+//     2q - r - 1).  Downward traffic (mu(0) at time r, right-arm messages
+//     mu(+q) at 2q + r) fills the opposite parity.  Inner-left messages
+//     continue outward through the LATE slots of the inward parity:
+//     -r forwards mu(-q) at 2m + r - 2q - 1 (first hop at 2m - q).
+//   * Right arm (the asymmetric half): +q launches its message outward at
+//     q - 1 and separately inward at q; inward relays at 2q - r; left-arm
+//     messages mu(-q) relay outward at 2q + r - 1; the center's message is
+//     deliberately STUCK at +1 until time 2m + 1 and then chases the rest
+//     (+r forwards it at 2m + r), arriving at the right end exactly at 3m;
+//     inner-right messages fill the late slots (+r forwards mu(+q) at
+//     2m + r - 2q, first hop at 2m - q + 1).
+//
+// Every send parity class of every processor is exactly packed; the
+// binding arrivals are mu(+m) at the left end and mu(0) at the right end,
+// both at time 3m = n + r - 1.  The test suite validates the schedule and
+// its optimality for every m up to 60.
+#pragma once
+
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// Optimal schedule (total communication time n + r - 1 = 3m) for the
+/// line network `graph::path(2m + 1)`.  Message ids are processor indices
+/// (identity initial assignment); the center is processor m.
+/// Requires m >= 1.
+[[nodiscard]] model::Schedule line_optimal_gossip(std::uint32_t m);
+
+/// The §1/§4 lower bound this schedule attains: 3m.
+[[nodiscard]] constexpr std::size_t line_optimal_time(std::uint32_t m) {
+  return 3u * static_cast<std::size_t>(m);
+}
+
+/// Even-line counterpart (beyond the paper, which only analyzes odd
+/// lines): an optimal schedule for `graph::path(2m)` of total time
+/// 3m - 2 = n + r - 2 — one round BELOW the odd-line bound pattern,
+/// because the two near-center processors share the gathering role.
+/// Construction: both centers gather their own arm (message at distance q
+/// arrives at time 2q) and exchange streams every round (c1 receives the
+/// right stream on odd rounds and its arm on even rounds, c2 vice versa);
+/// arm processors run the launch-outward-then-inward discipline of the odd
+/// construction, with outward traffic packed greedily into the remaining
+/// send slots.  Optimality of 3m - 2 is certified by exhaustive search for
+/// m <= 3 and the schedule is validator-checked for every m in the tests.
+/// Requires m >= 1 (m == 1 is the 2-processor exchange, 1 round).
+[[nodiscard]] model::Schedule even_line_gossip(std::uint32_t m);
+
+/// The even-line optimum attained: 3m - 2 (1 when m == 1).
+[[nodiscard]] constexpr std::size_t even_line_time(std::uint32_t m) {
+  return m <= 1 ? 1 : 3u * static_cast<std::size_t>(m) - 2;
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,100 @@
+#include "gossip/recovery.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+using model::Message;
+
+std::vector<std::vector<Message>> holds_to_initial_sets(
+    const std::vector<DynamicBitset>& holds) {
+  std::vector<std::vector<Message>> sets(holds.size());
+  for (std::size_t v = 0; v < holds.size(); ++v) {
+    for (std::size_t m = 0; m < holds[v].size(); ++m) {
+      if (holds[v].test(m)) sets[v].push_back(static_cast<Message>(m));
+    }
+  }
+  return sets;
+}
+
+model::Schedule greedy_completion_schedule(
+    const graph::Graph& g, const std::vector<DynamicBitset>& holds) {
+  const graph::Vertex n = g.vertex_count();
+  MG_EXPECTS(holds.size() == n);
+  const std::size_t message_count = n == 0 ? 0 : holds[0].size();
+  for (const auto& h : holds) MG_EXPECTS(h.size() == message_count);
+
+  // Every message must be known somewhere, or completion is impossible.
+  for (std::size_t m = 0; m < message_count; ++m) {
+    bool known = false;
+    for (graph::Vertex v = 0; v < n && !known; ++v) known = holds[v].test(m);
+    MG_EXPECTS_MSG(known, "a message is known to no processor");
+  }
+
+  std::vector<DynamicBitset> state = holds;
+  std::size_t outstanding = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    outstanding += message_count - state[v].count();
+  }
+
+  model::Schedule schedule;
+  std::size_t t = 0;
+  const std::size_t safety_limit = message_count * n + 8;
+  std::vector<char> receiving(n, 0);
+  std::vector<std::pair<graph::Vertex, Message>> arrivals;
+  while (outstanding > 0) {
+    MG_ASSERT_MSG(t < safety_limit, "greedy completion failed to converge");
+    std::fill(receiving.begin(), receiving.end(), 0);
+    arrivals.clear();
+
+    for (graph::Vertex v = 0; v < n; ++v) {
+      // Pick the held message wanted by the most currently-free neighbors.
+      Message best_message = 0;
+      std::vector<graph::Vertex> best_receivers;
+      // Candidate messages: those missing from at least one free neighbor.
+      // Iterate neighbors' missing bits rather than all messages.
+      std::vector<Message> candidates;
+      for (graph::Vertex u : g.neighbors(v)) {
+        if (receiving[u]) continue;
+        for (std::size_t m = 0; m < message_count; ++m) {
+          if (state[v].test(m) && !state[u].test(m)) {
+            candidates.push_back(static_cast<Message>(m));
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (Message m : candidates) {
+        std::vector<graph::Vertex> receivers;
+        for (graph::Vertex u : g.neighbors(v)) {
+          if (!receiving[u] && !state[u].test(m)) receivers.push_back(u);
+        }
+        if (receivers.size() > best_receivers.size()) {
+          best_receivers = std::move(receivers);
+          best_message = m;
+        }
+      }
+      if (best_receivers.empty()) continue;
+      for (graph::Vertex u : best_receivers) {
+        receiving[u] = 1;
+        arrivals.emplace_back(u, best_message);
+      }
+      schedule.add(t, {best_message, v, std::move(best_receivers)});
+    }
+
+    MG_ASSERT_MSG(!arrivals.empty(),
+                  "no progress: disconnected network or unknown message");
+    for (const auto& [u, m] : arrivals) {
+      state[u].set(m);
+      --outstanding;
+    }
+    ++t;
+  }
+  schedule.trim();
+  return schedule;
+}
+
+}  // namespace mg::gossip

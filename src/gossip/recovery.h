@@ -1,0 +1,34 @@
+// Gossip completion from an arbitrary knowledge state ("set gossiping").
+//
+// The paper's schedules are fixed offline plans; the simulator shows that a
+// dropped transmission leaves part of the network permanently starved.
+// This module provides the natural repair: given the per-processor hold
+// sets after a faulty run, build a fresh schedule that finishes the gossip
+// on the *original network* (not just the tree — recovery may route around
+// a lossy branch).  The builder is a greedy maximal-multicast flood: each
+// round, every processor picks the held message wanted by the most
+// still-free needy neighbors, conflicts resolved greedily; it terminates
+// because some wanting receiver with a knowing neighbor always exists on a
+// connected network.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "support/bitset.h"
+
+namespace mg::gossip {
+
+/// Greedy completion schedule: from hold-state `holds` (holds[v].size() ==
+/// message_count for every v; bit m set when v knows message m), produce a
+/// schedule after which every processor holds every message.  Requires a
+/// connected graph and every message known somewhere.
+[[nodiscard]] model::Schedule greedy_completion_schedule(
+    const graph::Graph& g, const std::vector<DynamicBitset>& holds);
+
+/// Convenience: hold-state -> initial sets for validate_schedule_general.
+[[nodiscard]] std::vector<std::vector<model::Message>> holds_to_initial_sets(
+    const std::vector<DynamicBitset>& holds);
+
+}  // namespace mg::gossip

@@ -1,0 +1,48 @@
+// §4: "In many applications, one has to execute the gossiping algorithms a
+// large number of times, so that is why it is important to perform
+// gossiping in a tree efficiently.  The construction of the tree is
+// performed only when there is a change in the network."
+//
+// This module studies the steady-state cost of repeated gossiping on a
+// fixed tree.  Back-to-back execution costs n + r per gossip.  But one
+// gossip's schedule does not keep every send/receive slot busy in every
+// round, so consecutive gossip instances can be *pipelined*: copy c of the
+// schedule is shifted by c * period, where the period is the smallest shift
+// at which no processor ever sends (or receives) two messages in one round
+// across overlapping copies.  Messages of copy c get ids c*n + label, so
+// the generalized validator can certify the combined schedule.
+#pragma once
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+#include "model/validator.h"
+
+namespace mg::gossip {
+
+/// Smallest shift S >= 1 such that any number of copies of `schedule`
+/// shifted by multiples of S never make one processor send two messages or
+/// receive two messages in one round.  Upper-bounded by total_time() (a
+/// shift of the full length always works).
+[[nodiscard]] std::size_t pipeline_period(graph::Vertex n,
+                                          const model::Schedule& schedule);
+
+struct RepeatedGossipResult {
+  model::Schedule schedule;   ///< union of the shifted copies
+  std::size_t copies = 0;
+  std::size_t period = 0;     ///< shift between consecutive copies
+  std::size_t total_time = 0;
+  double amortized_time = 0;  ///< total_time / copies
+  /// Initial holdings for validate_schedule_general: processor v holds
+  /// message c*n + label(v) for every copy c.
+  std::vector<std::vector<model::Message>> initial_sets;
+  std::size_t message_count = 0;  ///< copies * n
+};
+
+/// Builds `copies` consecutive gossips on the instance's tree.  When
+/// `pipelined` is false the copies run back-to-back (period = n + r); when
+/// true they are packed at `pipeline_period` spacing.
+[[nodiscard]] RepeatedGossipResult repeated_gossip(const Instance& instance,
+                                                   std::size_t copies,
+                                                   bool pipelined);
+
+}  // namespace mg::gossip

@@ -1,0 +1,23 @@
+// §3.2 procedure Simple (Lemma 1): first push every message to the root so
+// that message m >= 1 arrives exactly at time m (the vertex at level k
+// holding m sends it at time m - k), then — starting at time n - 2 — the
+// root multicasts messages 0, 1, 2, ... downward one per round, with every
+// non-root vertex relaying to its children the round it receives.  Total
+// communication time: exactly 2n + r - 3 on any tree with n >= 2 processors
+// and height r.
+#pragma once
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+[[nodiscard]] model::Schedule simple_gossip(const Instance& instance);
+
+/// Lemma 1's closed form, for assertions: 2n + r - 3 (0 when n == 1).
+[[nodiscard]] constexpr std::size_t simple_total_time(std::size_t n,
+                                                      std::size_t r) {
+  return n <= 1 ? 0 : 2 * n + r - 3;
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,56 @@
+#include "gossip/solve.h"
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/simple.h"
+#include "gossip/telephone.h"
+#include "gossip/updown.h"
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSimple:
+      return "Simple";
+    case Algorithm::kUpDown:
+      return "UpDown";
+    case Algorithm::kConcurrentUpDown:
+      return "ConcurrentUpDown";
+    case Algorithm::kTelephone:
+      return "Telephone";
+  }
+  MG_ASSERT_MSG(false, "unknown algorithm");
+  return {};
+}
+
+model::Schedule run_algorithm(const Instance& instance, Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kSimple:
+      return simple_gossip(instance);
+    case Algorithm::kUpDown:
+      return updown_gossip(instance);
+    case Algorithm::kConcurrentUpDown:
+      return concurrent_updown(instance);
+    case Algorithm::kTelephone:
+      return telephone_gossip(instance);
+  }
+  MG_ASSERT_MSG(false, "unknown algorithm");
+  return {};
+}
+
+Solution solve_gossip(const graph::Graph& g, Algorithm algorithm,
+                      ThreadPool* pool) {
+  Instance instance = Instance::from_network(g, pool);
+  model::Schedule schedule = run_algorithm(instance, algorithm);
+  model::ValidatorOptions options;
+  if (algorithm == Algorithm::kTelephone) {
+    options.variant = model::ModelVariant::kTelephone;
+  }
+  // Communications run on the tree network (§3): validate against it.
+  model::ValidationReport report = model::validate_schedule(
+      instance.tree().as_graph(), schedule, instance.initial(), options);
+  return Solution{std::move(instance), algorithm, std::move(schedule),
+                  std::move(report)};
+}
+
+}  // namespace mg::gossip

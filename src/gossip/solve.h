@@ -1,0 +1,46 @@
+// One-call front-end: build the minimum-depth spanning tree of an
+// arbitrary connected network (§3.1), run the selected tree-gossip
+// algorithm (§3.2), and validate the result against the communication
+// model.  This is the function a downstream user calls first; the
+// quickstart example is built on it.
+#pragma once
+
+#include <string>
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+#include "model/validator.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::gossip {
+
+enum class Algorithm : std::uint8_t {
+  kSimple,             ///< Lemma 1: 2n + r - 3
+  kUpDown,             ///< two-phase concurrent greedy (Gonzalez 2000)
+  kConcurrentUpDown,   ///< Theorem 1: n + r (the paper's main algorithm)
+  kTelephone,          ///< unicast-only baseline on the same tree
+};
+
+[[nodiscard]] std::string algorithm_name(Algorithm algorithm);
+
+struct Solution {
+  Instance instance;            ///< tree + DFS labeling used
+  Algorithm algorithm;
+  model::Schedule schedule;     ///< message ids are DFS labels
+  model::ValidationReport report;  ///< always validated; report.ok on success
+};
+
+/// Solves gossiping on connected network `g`.  The returned schedule's
+/// message ids are DFS labels; `solution.instance.initial()` maps them.
+[[nodiscard]] Solution solve_gossip(
+    const graph::Graph& g, Algorithm algorithm = Algorithm::kConcurrentUpDown,
+    ThreadPool* pool = nullptr);
+
+/// Runs the algorithm on an already-built instance and validates.
+[[nodiscard]] model::Schedule run_algorithm(const Instance& instance,
+                                            Algorithm algorithm);
+
+}  // namespace mg::gossip

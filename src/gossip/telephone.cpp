@@ -1,0 +1,32 @@
+#include "gossip/telephone.h"
+
+#include "gossip/bounded_fanout.h"
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+model::Schedule telephone_gossip(const Instance& instance) {
+  // The telephone model is the fanout-1 case of the greedy up/down engine:
+  // the up phase is unicast by construction and every downward relay is
+  // capped at a single receiver.
+  model::Schedule schedule = bounded_fanout_gossip(instance, 1);
+  MG_ENSURES(schedule.is_telephone());
+  return schedule;
+}
+
+std::size_t telephone_tree_load_bound(const Instance& instance) {
+  const auto& tree = instance.tree();
+  const auto& labels = instance.labels();
+  const graph::Vertex n = tree.vertex_count();
+  std::size_t bound = 0;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    std::size_t load = 0;
+    for (graph::Vertex c : tree.children(v)) {
+      load += n - labels.subtree_size(c);
+    }
+    bound = std::max(bound, load);
+  }
+  return bound;
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,31 @@
+// Telephone (unicasting) baseline: the restricted model where each
+// processor may transmit to at most ONE adjacent processor per round (§1).
+// Gossiping on a tree then requires the parent to send each message to each
+// child separately, so a vertex with c children spends ~c*(n - subtree)
+// rounds relaying — the multicast model collapses that factor to 1, which
+// is the paper's core motivation ("multicasting is a much more efficient
+// way to communicate").
+//
+// The schedule built here is the natural greedy store-and-forward gossip:
+// the fixed Simple up phase (already unicast) overlapped with a greedy
+// unicast down relay.  Its length is Theta(n * max-degree) on stars, vs
+// n + r for ConcurrentUpDown.
+#pragma once
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+/// Greedy telephone-model gossip on the instance's tree.  The result
+/// satisfies `Schedule::is_telephone()`.
+[[nodiscard]] model::Schedule telephone_gossip(const Instance& instance);
+
+/// Lower bound on telephone-model tree gossip: some vertex must deliver
+/// each of its children's o-message sets one message at a time, in series
+/// with receiving its own; this returns the largest such per-vertex load,
+/// max_v ( sum_{c child of v} (n - subtree(c)) ), a crude but instructive
+/// floor for the bench comparison.
+[[nodiscard]] std::size_t telephone_tree_load_bound(const Instance& instance);
+
+}  // namespace mg::gossip

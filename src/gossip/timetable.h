@@ -1,0 +1,36 @@
+// Per-vertex timetables in the exact format of the paper's Tables 1-4:
+// for one vertex, the message received from its parent / a child and sent
+// to its parent / children at every time unit.  The tables_1_to_4 bench
+// regenerates the published tables from the ConcurrentUpDown schedule on
+// the Fig. 5 tree with this module.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg::gossip {
+
+struct VertexTimetable {
+  graph::Vertex vertex = 0;
+  /// Entry per time unit 0..total_time; receive rows are indexed by the
+  /// time of *receipt* (send time + 1), send rows by the send time.
+  std::vector<std::optional<model::Message>> receive_from_parent;
+  std::vector<std::optional<model::Message>> receive_from_child;
+  std::vector<std::optional<model::Message>> send_to_parent;
+  std::vector<std::optional<model::Message>> send_to_children;
+};
+
+/// Extracts the four rows for `v` from a tree-gossip schedule.
+[[nodiscard]] VertexTimetable vertex_timetable(const Instance& instance,
+                                               const model::Schedule& schedule,
+                                               graph::Vertex v);
+
+/// Renders in the paper's layout: a Time header row and one row per
+/// non-empty stream, blanks shown as '-'.
+[[nodiscard]] std::string render_timetable(const VertexTimetable& table);
+
+}  // namespace mg::gossip

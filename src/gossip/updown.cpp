@@ -1,0 +1,13 @@
+#include "gossip/updown.h"
+
+#include "gossip/bounded_fanout.h"
+
+namespace mg::gossip {
+
+model::Schedule updown_gossip(const Instance& instance) {
+  // The two-phase UpDown reconstruction is the unlimited-fanout case of the
+  // greedy up/down engine (see bounded_fanout.h for the mechanics).
+  return bounded_fanout_gossip(instance, kUnboundedFanout);
+}
+
+}  // namespace mg::gossip

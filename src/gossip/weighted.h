@@ -1,0 +1,52 @@
+// §4 weighted gossiping: "each processor has at least one message to
+// transmit.  The idea is to replace a processor that needs to send l
+// messages with a chain with l processors.  In practice, one only mimics
+// this splitting process."
+//
+// We realize the reduction explicitly: every real processor v with weight
+// l_v becomes a chain of l_v virtual processors (top node keeps v's parent
+// edge; v's children attach below the bottom node), ConcurrentUpDown runs
+// on the virtual tree of N = sum l_v nodes, and the schedule's total time
+// is N + r_virtual.  The "mimicking" is quantified by the projection
+// statistics: how many *external* (real-edge) sends/receives each real
+// processor performs per round when it simulates its chain — chain-internal
+// transmissions are free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gossip/instance.h"
+#include "model/schedule.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::gossip {
+
+struct WeightedResult {
+  /// ConcurrentUpDown instance over the chain-expanded virtual tree.
+  Instance virtual_instance;
+  /// Virtual vertex -> the real processor simulating it.
+  std::vector<graph::Vertex> real_of;
+  /// The gossip schedule on the virtual tree (message ids are virtual DFS
+  /// labels; message m originates at real_of[vertex_of(m)]).
+  model::Schedule schedule;
+  /// N = sum of weights (total messages).
+  std::size_t total_messages = 0;
+  /// Height of the virtual tree; total time == total_messages + this.
+  std::uint32_t virtual_radius = 0;
+  /// Projection load: worst per-round number of external sends (resp.
+  /// receives) any real processor performs while simulating its chain.
+  std::size_t max_external_sends = 0;
+  std::size_t max_external_receives = 0;
+};
+
+/// Runs weighted gossiping on a connected network; `weights[v] >= 1` is the
+/// number of messages processor v must disseminate.
+[[nodiscard]] WeightedResult weighted_gossip(
+    const graph::Graph& g, const std::vector<std::uint32_t>& weights,
+    ThreadPool* pool = nullptr);
+
+}  // namespace mg::gossip

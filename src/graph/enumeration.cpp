@@ -1,0 +1,63 @@
+#include "graph/enumeration.h"
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+std::size_t labeled_tree_count(Vertex n) {
+  if (n <= 2) return 1;
+  std::size_t count = 1;
+  for (Vertex e = 0; e < n - 2; ++e) count *= n;
+  return count;
+}
+
+Graph tree_from_pruefer(Vertex n, std::span<const Vertex> pruefer) {
+  MG_EXPECTS(n >= 1);
+  if (n == 1) return Graph(1);
+  MG_EXPECTS(pruefer.size() == static_cast<std::size_t>(n) - 2);
+  std::vector<Vertex> degree(n, 1);
+  for (Vertex p : pruefer) {
+    MG_EXPECTS(p < n);
+    ++degree[p];
+  }
+  GraphBuilder builder(n);
+  Vertex ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  Vertex leaf = ptr;
+  for (Vertex p : pruefer) {
+    builder.add_edge(leaf, p);
+    if (--degree[p] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  builder.add_edge(leaf, n - 1);
+  return builder.build();
+}
+
+std::size_t for_each_labeled_tree(
+    Vertex n, const std::function<bool(const Graph&)>& visit) {
+  MG_EXPECTS(n >= 1);
+  if (n <= 2) {
+    visit(n == 1 ? Graph(1) : tree_from_pruefer(2, {}));
+    return 1;
+  }
+  std::vector<Vertex> pruefer(n - 2, 0);
+  std::size_t visited = 0;
+  for (;;) {
+    ++visited;
+    if (!visit(tree_from_pruefer(n, pruefer))) return visited;
+    // Odometer increment over base-n digits.
+    std::size_t digit = 0;
+    while (digit < pruefer.size() && ++pruefer[digit] == n) {
+      pruefer[digit] = 0;
+      ++digit;
+    }
+    if (digit == pruefer.size()) return visited;
+  }
+}
+
+}  // namespace mg::graph

@@ -1,0 +1,28 @@
+// Exhaustive enumeration of small labeled trees via Pruefer sequences
+// (Cayley: n^(n-2) labeled trees on n vertices).  Drives the exhaustive
+// correctness tests ("Theorem 1 holds on EVERY tree with n <= 6") and the
+// optimality-gap bench (how far is n + r from the true optimum over the
+// whole tree space).
+#pragma once
+
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace mg::graph {
+
+/// Number of labeled trees on n vertices: n^(n-2) (1 for n <= 2).
+[[nodiscard]] std::size_t labeled_tree_count(Vertex n);
+
+/// Calls `visit` with every labeled tree on n vertices exactly once, in
+/// Pruefer-sequence order.  Requires 1 <= n and n^(n-2) to fit practical
+/// budgets (intended for n <= 8).  Returns the number of trees visited;
+/// `visit` may return false to stop early.
+std::size_t for_each_labeled_tree(
+    Vertex n, const std::function<bool(const Graph&)>& visit);
+
+/// Decodes a specific Pruefer sequence (values in [0, n)) into its tree.
+[[nodiscard]] Graph tree_from_pruefer(Vertex n,
+                                      std::span<const Vertex> pruefer);
+
+}  // namespace mg::graph

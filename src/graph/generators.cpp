@@ -1,0 +1,257 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+Graph path(Vertex n) {
+  MG_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(Vertex n) {
+  MG_EXPECTS(n >= 3);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph complete(Vertex n) {
+  MG_EXPECTS(n >= 1);
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph complete_bipartite(Vertex a, Vertex b) {
+  MG_EXPECTS(a >= 1 && b >= 1);
+  GraphBuilder builder(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  }
+  return builder.build();
+}
+
+Graph star(Vertex n) {
+  MG_EXPECTS(n >= 2);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph wheel(Vertex n) {
+  MG_EXPECTS(n >= 4);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    b.add_edge(0, v);
+    b.add_edge(v, v + 1 == n ? 1 : v + 1);
+  }
+  return b.build();
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  MG_EXPECTS(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph torus(Vertex rows, Vertex cols) {
+  MG_EXPECTS(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph hypercube(unsigned dim) {
+  MG_EXPECTS(dim >= 1 && dim <= 20);
+  const Vertex n = Vertex{1} << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < dim; ++bit) {
+      const Vertex u = v ^ (Vertex{1} << bit);
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+Graph k_ary_tree(Vertex n, Vertex k) {
+  MG_EXPECTS(n >= 1 && k >= 1);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / k);
+  return b.build();
+}
+
+Graph caterpillar(Vertex spine, Vertex legs) {
+  MG_EXPECTS(spine >= 1);
+  const Vertex n = spine + spine * legs;
+  GraphBuilder b(n);
+  for (Vertex s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  for (Vertex s = 0; s < spine; ++s) {
+    for (Vertex leg = 0; leg < legs; ++leg) {
+      b.add_edge(s, spine + s * legs + leg);
+    }
+  }
+  return b.build();
+}
+
+Graph binomial_tree(unsigned order) {
+  MG_EXPECTS(order <= 20);
+  const Vertex n = Vertex{1} << order;
+  GraphBuilder b(n);
+  // B_k = two copies of B_{k-1}; the second copy's root (offset 2^{k-1})
+  // hangs off vertex 0.  Iterating over doubling offsets builds the classic
+  // recursive structure with vertex v's parent at v minus its highest bit.
+  for (Vertex v = 1; v < n; ++v) {
+    Vertex high = v;
+    high |= high >> 1;
+    high |= high >> 2;
+    high |= high >> 4;
+    high |= high >> 8;
+    high |= high >> 16;
+    high = (high >> 1) + 1;  // highest set bit of v
+    b.add_edge(v, v - high);
+  }
+  return b.build();
+}
+
+Graph lollipop(Vertex clique, Vertex tail) {
+  MG_EXPECTS(clique >= 1);
+  const Vertex n = clique + tail;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < clique; ++u) {
+    for (Vertex v = u + 1; v < clique; ++v) b.add_edge(u, v);
+  }
+  for (Vertex t = 0; t < tail; ++t) {
+    b.add_edge(clique + t - 1 < clique ? clique - 1 : clique + t - 1,
+               clique + t);
+  }
+  return b.build();
+}
+
+Graph random_tree(Vertex n, Rng& rng) {
+  MG_EXPECTS(n >= 1);
+  if (n == 1) return Graph(1);
+  if (n == 2) return path(2);
+  // Decode a uniform Pruefer sequence of length n-2.
+  std::vector<Vertex> pruefer(n - 2);
+  for (auto& p : pruefer) p = static_cast<Vertex>(rng.below(n));
+  std::vector<Vertex> degree(n, 1);
+  for (Vertex p : pruefer) ++degree[p];
+  GraphBuilder b(n);
+  // Standard decoding with a moving pointer over the smallest leaf.
+  Vertex ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  Vertex leaf = ptr;
+  for (Vertex p : pruefer) {
+    b.add_edge(leaf, p);
+    if (--degree[p] == 1 && p < ptr) {
+      leaf = p;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  b.add_edge(leaf, n - 1);
+  return b.build();
+}
+
+Graph random_connected_gnp(Vertex n, double p, Rng& rng) {
+  MG_EXPECTS(n >= 1);
+  MG_EXPECTS(p >= 0.0 && p <= 1.0);
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) edges.emplace_back(u, v);
+    }
+  }
+  // Overlay a uniform random spanning tree so the sample is connected.
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), Vertex{0});
+  rng.shuffle(order);
+  for (Vertex idx = 1; idx < n; ++idx) {
+    const auto anchor = static_cast<Vertex>(rng.below(idx));
+    edges.emplace_back(order[idx], order[anchor]);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_geometric(Vertex n, double radius, Rng& rng) {
+  MG_EXPECTS(n >= 1);
+  MG_EXPECTS(radius > 0.0);
+  std::vector<std::pair<double, double>> points(n);
+  for (auto& [x, y] : points) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  std::vector<Edge> edges;
+  const double r2 = radius * radius;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const double dx = points[u].first - points[v].first;
+      const double dy = points[u].second - points[v].second;
+      if (dx * dx + dy * dy <= r2) edges.emplace_back(u, v);
+    }
+  }
+  // Connectivity guard: chain vertices in x-order so the graph stays
+  // connected even for sub-critical radii (documented substitution for
+  // "deployments are provisioned to be connected").
+  std::vector<Vertex> order(n);
+  std::iota(order.begin(), order.end(), Vertex{0});
+  std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+    return points[a].first < points[b].first;
+  });
+  for (Vertex idx = 0; idx + 1 < n; ++idx) {
+    edges.emplace_back(order[idx], order[idx + 1]);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_regular(Vertex n, Vertex d, Rng& rng) {
+  MG_EXPECTS(n >= 3 && d >= 2 && d < n);
+  MG_EXPECTS_MSG((static_cast<std::size_t>(n) * d) % 2 == 0,
+                 "n*d must be even");
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex copy = 0; copy < d; ++copy) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  std::vector<Edge> edges;
+  for (std::size_t idx = 0; idx + 1 < stubs.size(); idx += 2) {
+    if (stubs[idx] != stubs[idx + 1]) {
+      edges.emplace_back(stubs[idx], stubs[idx + 1]);
+    }
+  }
+  // Connectivity guard: a spanning cycle (keeps the graph near-regular).
+  for (Vertex v = 0; v < n; ++v) {
+    edges.emplace_back(v, static_cast<Vertex>((v + 1) % n));
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace mg::graph

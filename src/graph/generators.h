@@ -1,0 +1,73 @@
+// Graph family generators: the workloads for every benchmark and property
+// test.  Families mirror the networks the paper discusses (cycles/Fig. 1,
+// straight lines/§1 and §4, trees/§3.2) plus the standard interconnection
+// topologies of the gossiping literature (grids, tori, hypercubes, ...) and
+// the random families motivating multicast (wireless/sensor geometric
+// graphs, §2).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mg::graph {
+
+/// Straight-line network 0-1-2-...-(n-1) (the paper's lower-bound family).
+[[nodiscard]] Graph path(Vertex n);
+
+/// Cycle 0-1-...-(n-1)-0 (the paper's Fig. 1 network N1).  Requires n >= 3.
+[[nodiscard]] Graph cycle(Vertex n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(Vertex n);
+
+/// Complete bipartite graph K_{a,b} (vertices 0..a-1 vs a..a+b-1).
+[[nodiscard]] Graph complete_bipartite(Vertex a, Vertex b);
+
+/// Star K_{1,n-1} with center 0.  Requires n >= 2.
+[[nodiscard]] Graph star(Vertex n);
+
+/// Wheel: cycle on n-1 vertices plus a hub (vertex 0).  Requires n >= 4.
+[[nodiscard]] Graph wheel(Vertex n);
+
+/// rows x cols grid (4-neighborhood).  Requires rows, cols >= 1.
+[[nodiscard]] Graph grid(Vertex rows, Vertex cols);
+
+/// rows x cols torus (wrap-around grid).  Requires rows, cols >= 3.
+[[nodiscard]] Graph torus(Vertex rows, Vertex cols);
+
+/// Hypercube Q_d on 2^d vertices.  Requires 1 <= dim <= 20.
+[[nodiscard]] Graph hypercube(unsigned dim);
+
+/// Complete k-ary tree truncated to n vertices in level order.
+/// Requires n >= 1 and k >= 1.
+[[nodiscard]] Graph k_ary_tree(Vertex n, Vertex k);
+
+/// Caterpillar: a spine path with `legs` pendant leaves per spine vertex.
+[[nodiscard]] Graph caterpillar(Vertex spine, Vertex legs);
+
+/// Binomial tree B_k on 2^k vertices (the classic gossip/broadcast tree).
+[[nodiscard]] Graph binomial_tree(unsigned order);
+
+/// Lollipop: K_c clique attached to a path of `tail` extra vertices.
+[[nodiscard]] Graph lollipop(Vertex clique, Vertex tail);
+
+/// Uniform random labelled tree via a Pruefer sequence.  Requires n >= 1.
+[[nodiscard]] Graph random_tree(Vertex n, Rng& rng);
+
+/// G(n, p) conditioned on connectivity: edges are sampled i.i.d. and a
+/// random spanning tree is overlaid so the result is always connected.
+[[nodiscard]] Graph random_connected_gnp(Vertex n, double p, Rng& rng);
+
+/// Random geometric graph in the unit square, vertices joined when within
+/// `radius` (the wireless/sensor-network motivation of §2).  A spanning
+/// chain over the x-sorted order is overlaid to guarantee connectivity.
+[[nodiscard]] Graph random_geometric(Vertex n, double radius, Rng& rng);
+
+/// Random d-regular-ish graph via the pairing model; pairs producing
+/// self-loops or duplicates are dropped, then connectivity is enforced by a
+/// spanning cycle.  Requires n*d even, d < n.
+[[nodiscard]] Graph random_regular(Vertex n, Vertex d, Rng& rng);
+
+}  // namespace mg::graph

@@ -1,0 +1,88 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+GraphBuilder::GraphBuilder(Vertex n) : n_(n) {}
+
+GraphBuilder& GraphBuilder::add_edge(Vertex u, Vertex v) {
+  MG_EXPECTS_MSG(u != v, "self-loops are not allowed");
+  MG_EXPECTS_MSG(u < n_ && v < n_, "edge endpoint out of range");
+  edges_.emplace_back(u, v);
+  return *this;
+}
+
+Graph GraphBuilder::build() {
+  Graph g = Graph::from_edges(n_, edges_);
+  edges_.clear();
+  return g;
+}
+
+Graph::Graph(Vertex n) : offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    MG_EXPECTS_MSG(u != v, "self-loops are not allowed");
+    MG_EXPECTS_MSG(u < n && v < n, "edge endpoint out of range");
+    normalized.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+
+  Graph g(n);
+  std::vector<Vertex> degree(n, 0);
+  for (const auto& [u, v] : normalized) {
+    ++degree[u];
+    ++degree[v];
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(normalized.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : normalized) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() +
+                  static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+std::span<const Vertex> Graph::neighbors(Vertex v) const {
+  MG_EXPECTS(v < vertex_count());
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+Vertex Graph::degree(Vertex v) const {
+  MG_EXPECTS(v < vertex_count());
+  return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  MG_EXPECTS(u < vertex_count() && v < vertex_count());
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count());
+  for (Vertex u = 0; u < vertex_count(); ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+}  // namespace mg::graph

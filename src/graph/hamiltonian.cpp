@@ -1,0 +1,98 @@
+#include "graph/hamiltonian.h"
+
+#include <algorithm>
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+namespace {
+
+class CircuitSearch {
+ public:
+  CircuitSearch(const Graph& g, std::uint64_t budget)
+      : g_(g), budget_(budget), on_path_(g.vertex_count(), false) {}
+
+  HamiltonianResult run() {
+    HamiltonianResult result;
+    const Vertex n = g_.vertex_count();
+    // Quick necessary condition: minimum degree 2.
+    for (Vertex v = 0; v < n; ++v) {
+      if (g_.degree(v) < 2) {
+        result.status = SearchStatus::kExhausted;
+        return result;
+      }
+    }
+    path_.reserve(n);
+    path_.push_back(0);
+    on_path_[0] = true;
+    const bool found = extend();
+    result.nodes_explored = nodes_;
+    if (found) {
+      result.status = SearchStatus::kFound;
+      result.circuit = path_;
+    } else {
+      result.status = nodes_ >= budget_ ? SearchStatus::kBudget
+                                        : SearchStatus::kExhausted;
+    }
+    return result;
+  }
+
+ private:
+  bool extend() {
+    if (++nodes_ >= budget_) return false;
+    const Vertex n = g_.vertex_count();
+    const Vertex tip = path_.back();
+    if (path_.size() == n) {
+      return g_.has_edge(tip, path_.front());
+    }
+    // Prune: every off-path vertex must keep >= 2 usable connections (to
+    // off-path vertices or to the two path endpoints).
+    for (Vertex next : g_.neighbors(tip)) {
+      if (on_path_[next]) continue;
+      path_.push_back(next);
+      on_path_[next] = true;
+      if (!dead_end() && extend()) return true;
+      on_path_[next] = false;
+      path_.pop_back();
+      if (nodes_ >= budget_) return false;
+    }
+    return false;
+  }
+
+  /// True when some off-path vertex has fewer than 2 usable connections,
+  /// making a circuit through it impossible.
+  bool dead_end() const {
+    const Vertex n = g_.vertex_count();
+    if (path_.size() == n) return false;
+    const Vertex tip = path_.back();
+    const Vertex start = path_.front();
+    for (Vertex v = 0; v < n; ++v) {
+      if (on_path_[v]) continue;
+      unsigned usable = 0;
+      for (Vertex u : g_.neighbors(v)) {
+        if (!on_path_[u] || u == tip || u == start) {
+          if (++usable >= 2) break;
+        }
+      }
+      if (usable < 2) return true;
+    }
+    return false;
+  }
+
+  const Graph& g_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  std::vector<Vertex> path_;
+  std::vector<char> on_path_;
+};
+
+}  // namespace
+
+HamiltonianResult find_hamiltonian_circuit(const Graph& g,
+                                           std::uint64_t node_budget) {
+  MG_EXPECTS(g.vertex_count() >= 3);
+  return CircuitSearch(g, node_budget).run();
+}
+
+}  // namespace mg::graph

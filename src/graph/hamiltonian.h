@@ -1,0 +1,36 @@
+// Exact Hamiltonian-circuit search.  §1 of the paper motivates gossiping
+// via Hamiltonian circuits (Fig. 1): when a circuit exists, rotating every
+// message along it solves gossiping in the optimal n - 1 rounds.  Deciding
+// existence is NP-complete, so this is a budgeted exact backtracking search
+// used on small instances (benches F1-F3) and on structured families.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mg::graph {
+
+/// Tri-state outcome of a budgeted exact search.
+enum class SearchStatus : std::uint8_t {
+  kFound,      ///< a witness was found
+  kExhausted,  ///< the full space was searched; no witness exists
+  kBudget,     ///< the node budget ran out before the search finished
+};
+
+struct HamiltonianResult {
+  SearchStatus status = SearchStatus::kExhausted;
+  /// When status == kFound: the circuit as a vertex sequence of length n
+  /// (implicitly closing back to the first vertex).
+  std::vector<Vertex> circuit;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Backtracking search with degree-2 pruning and a node budget.
+/// Requires a connected graph with n >= 3.
+[[nodiscard]] HamiltonianResult find_hamiltonian_circuit(
+    const Graph& g, std::uint64_t node_budget = 50'000'000);
+
+}  // namespace mg::graph

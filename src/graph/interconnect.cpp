@@ -1,0 +1,134 @@
+#include "graph/interconnect.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+Graph de_bruijn(unsigned dim) {
+  MG_EXPECTS(dim >= 2 && dim <= 20);
+  const Vertex n = Vertex{1} << dim;
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex b = 0; b < 2; ++b) {
+      const Vertex v = ((u << 1) | b) & (n - 1);
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph kautz(unsigned dim) {
+  MG_EXPECTS(dim >= 2 && dim <= 16);
+  // Words a_1..a_dim over {0,1,2} with a_i != a_{i+1}; 3 * 2^(dim-1) of
+  // them.  Enumerate and index.
+  std::vector<std::vector<Vertex>> words;
+  std::vector<Vertex> current;
+  const auto generate = [&](auto&& self) -> void {
+    if (current.size() == dim) {
+      words.push_back(current);
+      return;
+    }
+    for (Vertex letter = 0; letter < 3; ++letter) {
+      if (!current.empty() && current.back() == letter) continue;
+      current.push_back(letter);
+      self(self);
+      current.pop_back();
+    }
+  };
+  generate(generate);
+
+  std::map<std::vector<Vertex>, Vertex> index;
+  for (Vertex id = 0; id < words.size(); ++id) index[words[id]] = id;
+
+  std::vector<Edge> edges;
+  for (Vertex id = 0; id < words.size(); ++id) {
+    const auto& word = words[id];
+    for (Vertex letter = 0; letter < 3; ++letter) {
+      if (letter == word.back()) continue;
+      std::vector<Vertex> successor(word.begin() + 1, word.end());
+      successor.push_back(letter);
+      const Vertex other = index.at(successor);
+      if (other != id) edges.emplace_back(id, other);
+    }
+  }
+  return Graph::from_edges(static_cast<Vertex>(words.size()), edges);
+}
+
+Graph shuffle_exchange(unsigned dim) {
+  MG_EXPECTS(dim >= 2 && dim <= 20);
+  const Vertex n = Vertex{1} << dim;
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    const Vertex shuffled =
+        ((u << 1) | (u >> (dim - 1))) & (n - 1);  // rotate left
+    if (u != shuffled) edges.emplace_back(u, shuffled);
+    edges.emplace_back(u, u ^ 1);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph cube_connected_cycles(unsigned dim) {
+  MG_EXPECTS(dim >= 3 && dim <= 16);
+  const Vertex corners = Vertex{1} << dim;
+  const Vertex n = corners * dim;
+  auto id = [dim](Vertex corner, unsigned pos) {
+    return corner * dim + pos;
+  };
+  std::vector<Edge> edges;
+  for (Vertex corner = 0; corner < corners; ++corner) {
+    for (unsigned pos = 0; pos < dim; ++pos) {
+      edges.emplace_back(id(corner, pos), id(corner, (pos + 1) % dim));
+      edges.emplace_back(id(corner, pos),
+                         id(corner ^ (Vertex{1} << pos), pos));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph wrapped_butterfly(unsigned dim) {
+  MG_EXPECTS(dim >= 3 && dim <= 16);
+  const Vertex rows = Vertex{1} << dim;
+  const Vertex n = rows * dim;
+  auto id = [dim](unsigned level, Vertex row) {
+    return row * dim + level;
+  };
+  std::vector<Edge> edges;
+  for (Vertex row = 0; row < rows; ++row) {
+    for (unsigned level = 0; level < dim; ++level) {
+      const unsigned next = (level + 1) % dim;
+      edges.emplace_back(id(level, row), id(next, row));
+      edges.emplace_back(id(level, row),
+                         id(next, row ^ (Vertex{1} << level)));
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph circulant(Vertex n, std::span<const Vertex> offsets) {
+  MG_EXPECTS(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex s : offsets) {
+    MG_EXPECTS_MSG(s >= 1 && s <= n / 2, "offset out of range");
+    for (Vertex v = 0; v < n; ++v) {
+      const Vertex u = (v + s) % n;
+      if (u != v) edges.emplace_back(v, u);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph chordal_ring(Vertex n, Vertex chord) {
+  MG_EXPECTS(n >= 6 && n % 2 == 0);
+  MG_EXPECTS(chord >= 3 && chord < n && chord % 2 == 1);
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    edges.emplace_back(v, (v + 1) % n);
+    if (v % 2 == 0) edges.emplace_back(v, (v + chord) % n);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace mg::graph

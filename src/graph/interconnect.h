@@ -1,0 +1,43 @@
+// Classic interconnection-network topologies from the gossiping literature
+// (the survey families of [7], [17]): de Bruijn, Kautz, shuffle-exchange,
+// cube-connected cycles, butterfly (wrapped), circulant and chordal-ring
+// graphs.  The paper's algorithm works on *any* network (§2: "The algorithm
+// for the gossiping problem in this paper works for any arbitrary
+// network"), so these families extend the benchmark coverage to the
+// networks the prior work specialized in.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace mg::graph {
+
+/// Undirected de Bruijn graph B(2, dim) on 2^dim vertices: u ~ (2u + b)
+/// mod 2^dim for b in {0, 1}.  Requires 2 <= dim <= 20.
+[[nodiscard]] Graph de_bruijn(unsigned dim);
+
+/// Undirected Kautz graph K(2, dim) on 3 * 2^(dim-1) vertices (neighbors by
+/// the standard successor rule on words without repeated letters).
+/// Requires 2 <= dim <= 16.
+[[nodiscard]] Graph kautz(unsigned dim);
+
+/// Shuffle-exchange network on 2^dim vertices: shuffle edges u ~ rot(u) and
+/// exchange edges u ~ u^1.  Requires 2 <= dim <= 20.
+[[nodiscard]] Graph shuffle_exchange(unsigned dim);
+
+/// Cube-connected cycles CCC(dim): each hypercube corner becomes a
+/// dim-cycle; 3-regular, dim * 2^dim vertices.  Requires 3 <= dim <= 16.
+[[nodiscard]] Graph cube_connected_cycles(unsigned dim);
+
+/// Wrapped butterfly BF(dim): dim * 2^dim vertices (level, row), level
+/// arithmetic mod dim, 4-regular.  Requires 3 <= dim <= 16.
+[[nodiscard]] Graph wrapped_butterfly(unsigned dim);
+
+/// Circulant graph C_n(S): vertex v adjacent to v +- s for each s in
+/// `offsets`.  Requires n >= 3, each 1 <= s <= n/2.
+[[nodiscard]] Graph circulant(Vertex n, std::span<const Vertex> offsets);
+
+/// Chordal ring: cycle plus chords v ~ v + chord for even v (a classic
+/// sparse gossip topology).  Requires n >= 6 even, 3 <= chord < n odd.
+[[nodiscard]] Graph chordal_ring(Vertex n, Vertex chord);
+
+}  // namespace mg::graph

@@ -1,0 +1,54 @@
+#include "graph/io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mg::graph {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream out;
+  out << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+  return out.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  long long n = 0;
+  long long m = 0;
+  if (!(in >> n >> m) || n < 0 || m < 0) {
+    throw std::invalid_argument("edge list: malformed header");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (long long e = 0; e < m; ++e) {
+    long long u = 0;
+    long long v = 0;
+    if (!(in >> u >> v)) {
+      throw std::invalid_argument("edge list: truncated edge section");
+    }
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::invalid_argument("edge list: endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("edge list: self-loop");
+    edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+  return Graph::from_edges(static_cast<Vertex>(n), edges);
+}
+
+std::string to_dot(const Graph& g, const std::vector<std::string>& labels) {
+  std::ostringstream out;
+  out << "graph G {\n";
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    out << "  " << v;
+    if (v < labels.size()) out << " [label=\"" << labels[v] << "\"]";
+    out << ";\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    out << "  " << u << " -- " << v << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace mg::graph

@@ -1,0 +1,24 @@
+// Text serialization for graphs: a whitespace edge-list format for
+// persistence/interchange and Graphviz DOT export for inspecting the
+// example networks and their spanning trees.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mg::graph {
+
+/// Serializes as "n m" on the first line then one "u v" pair per edge.
+[[nodiscard]] std::string to_edge_list(const Graph& g);
+
+/// Parses the `to_edge_list` format.  Throws std::invalid_argument on
+/// malformed input (bad counts, out-of-range endpoints, self-loops).
+[[nodiscard]] Graph from_edge_list(const std::string& text);
+
+/// Graphviz `graph { ... }` rendering with optional per-vertex labels
+/// (vertex id is used when `labels` is empty).
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const std::vector<std::string>& labels = {});
+
+}  // namespace mg::graph

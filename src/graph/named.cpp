@@ -1,0 +1,55 @@
+#include "graph/named.h"
+
+#include "graph/generators.h"
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+Graph n1_cycle(Vertex n) { return cycle(n); }
+
+Graph petersen() {
+  GraphBuilder b(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -- i+5.
+  for (Vertex v = 0; v < 5; ++v) {
+    b.add_edge(v, (v + 1) % 5);
+    b.add_edge(5 + v, 5 + (v + 2) % 5);
+    b.add_edge(v, 5 + v);
+  }
+  return b.build();
+}
+
+Graph n3_witness() {
+  // K_{2,3}: parts {0, 1} and {2, 3, 4}.  Non-Hamiltonian (unbalanced
+  // bipartite).  Multicast gossiping completes in n - 1 = 4 rounds (a
+  // certificate schedule is exercised in tests/bench); telephone gossiping
+  // cannot: in an (n-1)-round schedule every vertex must receive a new
+  // message every round, so all three of {2,3,4} must send every round into
+  // only two receivers {0,1} -- pigeonhole.
+  return complete_bipartite(2, 3);
+}
+
+Graph fig5_tree() {
+  GraphBuilder b(16);
+  const Edge tree_edges[] = {
+      {0, 1},  {1, 2},  {1, 3},                      // first subtree [1,3]
+      {0, 4},  {4, 5},  {5, 6},  {5, 7},             // second subtree [4,10]
+      {4, 8},  {8, 9},  {8, 10},
+      {0, 11}, {11, 12}, {12, 13}, {11, 14}, {11, 15}  // third subtree [11,15]
+  };
+  for (const auto& [u, v] : tree_edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph fig4_network() {
+  GraphBuilder b(16);
+  for (const auto& [u, v] : fig5_tree().edges()) b.add_edge(u, v);
+  // Within-level cross edges: they leave every BFS level (and therefore the
+  // canonical minimum-depth spanning tree rooted at processor 0) unchanged
+  // while making the network a genuine non-tree graph of radius 3.
+  const Edge cross_edges[] = {{1, 4}, {4, 11}, {5, 8}, {2, 3},
+                              {6, 7}, {9, 10}, {12, 14}};
+  for (const auto& [u, v] : cross_edges) b.add_edge(u, v);
+  return b.build();
+}
+
+}  // namespace mg::graph

@@ -1,0 +1,31 @@
+#include "graph/product.h"
+
+#include "support/contracts.h"
+
+namespace mg::graph {
+
+Graph cartesian_product(const Graph& g, const Graph& h) {
+  const Vertex gn = g.vertex_count();
+  const Vertex hn = h.vertex_count();
+  MG_EXPECTS(gn >= 1 && hn >= 1);
+  MG_EXPECTS_MSG(static_cast<std::size_t>(gn) * hn < kNoVertex,
+                 "product too large");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(gn) * h.edge_count() +
+                static_cast<std::size_t>(hn) * g.edge_count());
+  for (Vertex gv = 0; gv < gn; ++gv) {
+    for (const auto& [h1, h2] : h.edges()) {
+      edges.emplace_back(product_vertex(gv, h1, hn),
+                         product_vertex(gv, h2, hn));
+    }
+  }
+  for (Vertex hv = 0; hv < hn; ++hv) {
+    for (const auto& [g1, g2] : g.edges()) {
+      edges.emplace_back(product_vertex(g1, hv, hn),
+                         product_vertex(g2, hv, hn));
+    }
+  }
+  return Graph::from_edges(gn * hn, edges);
+}
+
+}  // namespace mg::graph

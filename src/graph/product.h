@@ -1,0 +1,21 @@
+// Cartesian graph products.  Grids, tori and hypercubes are products of
+// paths, cycles and K_2 respectively; products let tests cross-validate the
+// generators and give closed-form radii (eccentricities add under the
+// Cartesian product), which the tree substrate's metrics must reproduce.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace mg::graph {
+
+/// Cartesian product G x H: vertex (g, h) has id g * |H| + h; (g1,h1) ~
+/// (g2,h2) iff (g1==g2 and h1~h2) or (h1==h2 and g1~g2).
+[[nodiscard]] Graph cartesian_product(const Graph& g, const Graph& h);
+
+/// Vertex id of (g, h) in `cartesian_product(G, H)`.
+[[nodiscard]] constexpr Vertex product_vertex(Vertex g, Vertex h,
+                                              Vertex h_count) {
+  return g * h_count + h;
+}
+
+}  // namespace mg::graph

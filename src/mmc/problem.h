@@ -1,0 +1,64 @@
+// The MultiMessage Multicasting problem (MMC) over fully connected
+// networks — the paper's own framing of related work ([12], [13], [14]):
+// "each processor needs to transmit a set of messages, but each message is
+// to be received by its own subset of processors ... The gossiping problem
+// is a restricted version of the multimessage multicasting problem."
+//
+// An instance: n processors, a list of messages, each with a source and a
+// destination set.  The communication rules are the paper's (§1): per
+// round a processor sends at most one (multicast) message and receives at
+// most one.  The *degree* d of an instance is the larger of the maximum
+// number of messages any processor must originate and the maximum number
+// of receptions any processor requires; every schedule needs at least d
+// rounds.  Gossiping on the complete graph is the restriction where every
+// processor has exactly one message destined to everyone (d = n - 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+
+namespace mg::mmc {
+
+struct MmcMessage {
+  model::Message id = 0;                  ///< dense ids 0..message_count-1
+  graph::Vertex source = 0;
+  std::vector<graph::Vertex> destinations;  ///< sorted, no self, non-empty
+};
+
+class MmcInstance {
+ public:
+  MmcInstance(graph::Vertex processors, std::vector<MmcMessage> messages);
+
+  [[nodiscard]] graph::Vertex processor_count() const { return n_; }
+  [[nodiscard]] std::size_t message_count() const { return messages_.size(); }
+  [[nodiscard]] const std::vector<MmcMessage>& messages() const {
+    return messages_;
+  }
+
+  /// The degree d: max over processors of max(#messages originated,
+  /// #receptions required).  Lower bound on every schedule's length.
+  [[nodiscard]] std::size_t degree() const { return degree_; }
+
+  /// Initial holdings for validate_schedule_general.
+  [[nodiscard]] std::vector<std::vector<model::Message>> initial_sets() const;
+
+  /// Checks that `schedule` is rule-legal on the complete network and
+  /// delivers every message to all its destinations; returns an empty
+  /// string on success, the first problem otherwise.
+  [[nodiscard]] std::string check(const model::Schedule& schedule) const;
+
+  /// The gossiping restriction: processor v's message v goes to everyone
+  /// (degree n - 1).
+  static MmcInstance gossip_restriction(graph::Vertex n);
+
+ private:
+  graph::Vertex n_;
+  std::vector<MmcMessage> messages_;
+  std::size_t degree_ = 0;
+};
+
+}  // namespace mg::mmc

@@ -1,0 +1,44 @@
+// Schedule anatomy: per-round activity, utilization against the model's
+// capacity (each processor may send one and receive one message per round),
+// and fan-out distribution.  Used by the schedule_anatomy bench to show the
+// up/down pipeline structure of the §3.2 algorithms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+
+namespace mg::model {
+
+struct RoundActivity {
+  std::size_t senders = 0;     ///< processors transmitting this round
+  std::size_t receivers = 0;   ///< processors receiving this round
+  std::size_t deliveries = 0;  ///< point-to-point deliveries (sum |D|)
+};
+
+struct ScheduleStats {
+  std::size_t rounds = 0;          ///< schedule total time
+  std::size_t transmissions = 0;   ///< (m, l, D) tuples
+  std::size_t deliveries = 0;      ///< sum of |D|
+  std::size_t max_fanout = 0;
+  double mean_fanout = 0.0;
+  /// Fraction of the (n processors x rounds) receive capacity used.
+  double receive_utilization = 0.0;
+  /// Fraction of the send capacity used.
+  double send_utilization = 0.0;
+  /// Busy-round counts per processor.
+  std::vector<std::size_t> sends_per_processor;
+  std::vector<std::size_t> receives_per_processor;
+  /// Round-by-round activity (index = send time).
+  std::vector<RoundActivity> per_round;
+  /// fanout_histogram[f] = number of transmissions with |D| == f.
+  std::vector<std::size_t> fanout_histogram;
+};
+
+/// Computes anatomy statistics for a schedule over an n-processor network.
+[[nodiscard]] ScheduleStats compute_stats(graph::Vertex n,
+                                          const Schedule& schedule);
+
+}  // namespace mg::model

@@ -1,0 +1,199 @@
+#include "model/validator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/bitset.h"
+#include "support/contracts.h"
+
+namespace mg::model {
+
+namespace {
+
+std::string describe(const Transmission& tx, std::size_t t) {
+  std::ostringstream out;
+  out << "round " << t << ", msg " << tx.message << " from " << tx.sender;
+  return out.str();
+}
+
+}  // namespace
+
+ValidationReport validate_schedule_general(
+    const graph::Graph& g, const Schedule& schedule,
+    const std::vector<std::vector<Message>>& initial_sets,
+    std::size_t message_count, const ValidatorOptions& options) {
+  const graph::Vertex n = g.vertex_count();
+  ValidationReport report;
+
+  if (initial_sets.size() != n) {
+    report.error = "initial assignment size mismatch";
+    return report;
+  }
+  std::vector<DynamicBitset> hold(n, DynamicBitset(message_count));
+  for (graph::Vertex v = 0; v < n; ++v) {
+    for (Message m : initial_sets[v]) {
+      if (m >= message_count) {
+        report.error = "initial message id out of range";
+        return report;
+      }
+      hold[v].set(m);
+    }
+  }
+
+  // Arrivals from round t are applied at the start of processing round t+1
+  // (receive-before-send), recorded here as (receiver, message) pairs.
+  std::vector<std::pair<graph::Vertex, Message>> in_flight;
+
+  std::vector<std::size_t> receiver_seen(n, SIZE_MAX);
+  std::vector<std::size_t> sender_seen(n, SIZE_MAX);
+
+  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+    for (const auto& [receiver, message] : in_flight) {
+      hold[receiver].set(message);
+    }
+    in_flight.clear();
+
+    for (const auto& tx : schedule.round(t)) {
+      if (tx.sender >= n) {
+        report.error = "sender index out of range at " + describe(tx, t);
+        return report;
+      }
+      if (tx.message >= message_count) {
+        report.error = "message id out of range at " + describe(tx, t);
+        return report;
+      }
+      if (tx.receivers.empty()) {
+        report.error = "empty receiver set at " + describe(tx, t);
+        return report;
+      }
+      if (options.variant == ModelVariant::kTelephone &&
+          tx.receivers.size() != 1) {
+        report.error = "multicast under telephone model at " + describe(tx, t);
+        return report;
+      }
+      if (sender_seen[tx.sender] == t) {
+        report.error =
+            "processor sends two messages in one round at " + describe(tx, t);
+        return report;
+      }
+      sender_seen[tx.sender] = t;
+      if (!hold[tx.sender].test(tx.message)) {
+        report.error = "sender does not hold the message at " +
+                       describe(tx, t);
+        return report;
+      }
+      for (graph::Vertex r : tx.receivers) {
+        if (r >= n) {
+          report.error = "receiver out of range at " + describe(tx, t);
+          return report;
+        }
+        if (r == tx.sender) {
+          report.error = "self-delivery at " + describe(tx, t);
+          return report;
+        }
+        if (!g.has_edge(tx.sender, r)) {
+          report.error = "receiver " + std::to_string(r) +
+                         " not adjacent to sender at " + describe(tx, t);
+          return report;
+        }
+        if (receiver_seen[r] == t) {
+          report.error = "processor " + std::to_string(r) +
+                         " receives two messages in one round at " +
+                         describe(tx, t);
+          return report;
+        }
+        receiver_seen[r] = t;
+        in_flight.emplace_back(r, tx.message);
+      }
+    }
+  }
+  for (const auto& [receiver, message] : in_flight) {
+    hold[receiver].set(message);
+  }
+
+  report.total_time = schedule.total_time();
+
+  if (options.require_completion) {
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (!hold[v].all()) {
+        report.error = "processor " + std::to_string(v) +
+                       " is missing messages at the end (" +
+                       std::to_string(hold[v].count()) + "/" +
+                       std::to_string(message_count) + ")";
+        return report;
+      }
+    }
+    // Second pass for per-processor completion times.
+    report.completion_time.assign(n, 0);
+    std::vector<DynamicBitset> again(n, DynamicBitset(message_count));
+    std::vector<std::size_t> missing(n, 0);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      for (Message m : initial_sets[v]) again[v].set(m);
+      missing[v] = message_count - again[v].count();
+    }
+    for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+      for (const auto& tx : schedule.round(t)) {
+        for (graph::Vertex r : tx.receivers) {
+          if (!again[r].test(tx.message)) {
+            again[r].set(tx.message);
+            if (--missing[r] == 0) report.completion_time[r] = t + 1;
+          }
+        }
+      }
+    }
+  }
+
+  report.ok = true;
+  return report;
+}
+
+ValidationReport validate_schedule(const graph::Graph& g,
+                                   const Schedule& schedule,
+                                   const std::vector<Message>& initial,
+                                   const ValidatorOptions& options) {
+  const graph::Vertex n = g.vertex_count();
+  if (!initial.empty() && initial.size() != n) {
+    ValidationReport report;
+    report.error = "initial assignment size mismatch";
+    return report;
+  }
+  std::vector<std::vector<Message>> initial_sets(n);
+  for (graph::Vertex v = 0; v < n; ++v) {
+    initial_sets[v] = {initial.empty() ? v : initial[v]};
+  }
+  return validate_schedule_general(g, schedule, initial_sets, n, options);
+}
+
+ValidationReport validate_broadcast(const graph::Graph& g,
+                                    const Schedule& schedule,
+                                    graph::Vertex source) {
+  ValidatorOptions options;
+  options.require_completion = false;
+  ValidationReport report = validate_schedule(g, schedule, {}, options);
+  if (!report.ok) return report;
+
+  const graph::Vertex n = g.vertex_count();
+  std::vector<char> has(n, 0);
+  has[source] = 1;
+  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+    for (const auto& tx : schedule.round(t)) {
+      if (tx.message != source) {
+        report.ok = false;
+        report.error = "broadcast schedule carries a foreign message";
+        return report;
+      }
+      for (graph::Vertex r : tx.receivers) has[r] = 1;
+    }
+  }
+  for (graph::Vertex v = 0; v < n; ++v) {
+    if (!has[v]) {
+      report.ok = false;
+      report.error =
+          "processor " + std::to_string(v) + " never receives the broadcast";
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace mg::model

@@ -1,0 +1,77 @@
+// Independent checker for communication schedules against the paper's
+// model (§1).  Every schedule produced by every algorithm in this library
+// is validated by this module in the test suite; it shares no code with the
+// schedule generators, so agreement is meaningful evidence of correctness.
+//
+// Checked rules, per round t:
+//   1. every receiver appears in at most one D set (rule 1);
+//   2. all sender indices are distinct (rule 2);
+//   3. every receiver is adjacent to its sender in the network;
+//   4. no processor sends to itself;
+//   5. the sender holds the message at send time — where the hold set
+//      h_l(t) includes messages received at time t (receive happens before
+//      send: a message sent at t-1 arrives at t and may be forwarded at t);
+//   6. (telephone variant) every D set is a singleton;
+//   7. (optional) completion: after the last arrival every processor holds
+//      all n messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+
+namespace mg::model {
+
+/// Which communication model to enforce.
+enum class ModelVariant : std::uint8_t {
+  kMulticast,  ///< D may be any neighbor subset (the paper's model)
+  kTelephone,  ///< |D| = 1 (the restricted unicasting model)
+};
+
+struct ValidatorOptions {
+  ModelVariant variant = ModelVariant::kMulticast;
+  /// Require every processor to end holding all n messages (gossip
+  /// completion).  Disable to validate partial schedules (e.g. broadcast).
+  bool require_completion = true;
+};
+
+struct ValidationReport {
+  bool ok = false;
+  std::string error;  ///< empty when ok; otherwise the first violation
+
+  /// Per-processor earliest time its hold set became complete (only
+  /// meaningful when ok && require_completion).
+  std::vector<std::size_t> completion_time;
+
+  /// Latest receive time observed (== schedule total_time()).
+  std::size_t total_time = 0;
+};
+
+/// Validates `schedule` on network `g`.  `initial[v]` is the message
+/// initially held by processor v; pass an empty vector for the identity
+/// assignment (processor v holds message v).
+[[nodiscard]] ValidationReport validate_schedule(
+    const graph::Graph& g, const Schedule& schedule,
+    const std::vector<Message>& initial = {},
+    const ValidatorOptions& options = {});
+
+/// Generalized form: processor v initially holds the set `initial_sets[v]`
+/// and the message universe is 0..message_count-1 (the weighted and
+/// repeated-gossip extensions need several messages per processor and more
+/// messages than processors).  Completion means every processor holds all
+/// `message_count` messages.
+[[nodiscard]] ValidationReport validate_schedule_general(
+    const graph::Graph& g, const Schedule& schedule,
+    const std::vector<std::vector<Message>>& initial_sets,
+    std::size_t message_count, const ValidatorOptions& options = {});
+
+/// Validates that `schedule` broadcasts `source`'s message to every
+/// processor (adjacency/conflict rules as above; completion means everyone
+/// holds that one message).
+[[nodiscard]] ValidationReport validate_broadcast(
+    const graph::Graph& g, const Schedule& schedule, graph::Vertex source);
+
+}  // namespace mg::model

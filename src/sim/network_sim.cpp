@@ -1,0 +1,90 @@
+#include "sim/network_sim.h"
+
+#include <algorithm>
+
+#include "support/bitset.h"
+#include "support/contracts.h"
+
+namespace mg::sim {
+
+SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
+                   const std::vector<Message>& initial,
+                   const SimOptions& options) {
+  const Vertex n = g.vertex_count();
+  SimResult result;
+  result.completion_time.assign(n, 0);
+  result.missing.assign(n, 0);
+
+  std::vector<Message> origin(initial);
+  if (origin.empty()) {
+    origin.resize(n);
+    for (Vertex v = 0; v < n; ++v) origin[v] = v;
+  }
+  MG_EXPECTS(origin.size() == n);
+
+  std::vector<DynamicBitset> hold(n, DynamicBitset(n));
+  std::vector<std::size_t> known(n, 1);
+  for (Vertex v = 0; v < n; ++v) hold[v].set(origin[v]);
+
+  auto dropped = [&](std::size_t t, Vertex sender) {
+    return std::find(options.drop.begin(), options.drop.end(),
+                     std::make_pair(t, sender)) != options.drop.end();
+  };
+
+  std::size_t total_known = n;
+  result.knowledge.push_back(total_known);
+
+  // Deliveries land at t + 1 (receive-before-send): buffer the round's
+  // arrivals and apply them before the next round's sends.
+  std::vector<std::pair<Vertex, Message>> in_flight;
+  auto apply_arrivals = [&](std::size_t receive_time) {
+    for (const auto& [r, m] : in_flight) {
+      if (!hold[r].test(m)) {
+        hold[r].set(m);
+        ++known[r];
+        ++total_known;
+        if (known[r] == n) result.completion_time[r] = receive_time;
+      }
+    }
+    in_flight.clear();
+  };
+
+  const std::size_t rounds = schedule.round_count();
+  for (std::size_t t = 0; t < rounds; ++t) {
+    apply_arrivals(t);
+    if (t > 0) result.knowledge.push_back(total_known);  // state at time t
+    for (const auto& tx : schedule.round(t)) {
+      if (dropped(t, tx.sender)) continue;
+      if (!hold[tx.sender].test(tx.message)) {
+        ++result.skipped_sends;  // fault cascade: nothing to forward
+        continue;
+      }
+      if (options.record_trace) {
+        result.trace.push_back({SimEvent::Kind::kSend, t, tx.sender,
+                                tx.message,
+                                tx.receivers.empty() ? tx.sender
+                                                     : tx.receivers.front()});
+      }
+      for (Vertex r : tx.receivers) {
+        result.total_time = std::max(result.total_time, t + 1);
+        if (options.record_trace) {
+          result.trace.push_back(
+              {SimEvent::Kind::kReceive, t + 1, r, tx.message, tx.sender});
+        }
+        in_flight.emplace_back(r, tx.message);
+      }
+    }
+  }
+  apply_arrivals(rounds);
+  if (rounds > 0) result.knowledge.push_back(total_known);
+
+  result.completed = true;
+  for (Vertex v = 0; v < n; ++v) {
+    result.missing[v] = n - known[v];
+    if (result.missing[v] != 0) result.completed = false;
+  }
+  result.final_holds = std::move(hold);
+  return result;
+}
+
+}  // namespace mg::sim

@@ -1,0 +1,70 @@
+// Round-based network simulator.  Where the model validator *enforces* the
+// communication rules, the simulator *executes* a schedule and reports what
+// the network observes: per-node knowledge curves, completion times, an
+// event trace, and behaviour under injected transmission faults (a dropped
+// multicast models a failed link/round; gossip completion then degrades,
+// which the fault-injection tests assert).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "support/bitset.h"
+
+namespace mg::sim {
+
+using graph::Vertex;
+using model::Message;
+
+struct SimOptions {
+  /// Record the full send/receive event trace (O(deliveries) memory).
+  bool record_trace = false;
+  /// Transmissions to drop, addressed as (round, sender).  Every matching
+  /// transmission is suppressed entirely (no receiver gets the message).
+  std::vector<std::pair<std::size_t, Vertex>> drop;
+};
+
+struct SimEvent {
+  enum class Kind : std::uint8_t { kSend, kReceive };
+  Kind kind = Kind::kSend;
+  std::size_t time = 0;
+  Vertex node = 0;
+  Message message = 0;
+  Vertex peer = 0;  ///< first receiver for kSend; sender for kReceive
+};
+
+struct SimResult {
+  /// True when every node ends holding all n messages.
+  bool completed = false;
+  /// Latest receive time of a non-dropped transmission.
+  std::size_t total_time = 0;
+  /// Per-node earliest time the hold set became complete (0 if never).
+  std::vector<std::size_t> completion_time;
+  /// knowledge[t] = total number of (node, message) pairs known at time t,
+  /// from n at t=0 up to n*n on completion; one entry per time unit.
+  std::vector<std::size_t> knowledge;
+  /// Per-node count of messages still missing at the end.
+  std::vector<std::size_t> missing;
+  /// Transmissions skipped because the sender did not hold the message —
+  /// the downstream cascade of an injected drop.
+  std::size_t skipped_sends = 0;
+  /// Final per-node hold sets (bit m = node knows message m) — the input
+  /// for gossip::greedy_completion_schedule after a faulty run.
+  std::vector<DynamicBitset> final_holds;
+  std::vector<SimEvent> trace;  ///< populated when record_trace
+};
+
+/// Executes `schedule` on network `g`.  `initial[v]` is the message held by
+/// v at time 0 (empty = identity).  Unlike the validator this does not
+/// enforce the conflict rules — pair it with validate_schedule when the
+/// schedule's legality is in question.  It does apply the physical
+/// constraint that a node cannot transmit a message it never received, so
+/// injected drops cascade realistically (`skipped_sends`).
+[[nodiscard]] SimResult simulate(const graph::Graph& g,
+                                 const model::Schedule& schedule,
+                                 const std::vector<Message>& initial = {},
+                                 const SimOptions& options = {});
+
+}  // namespace mg::sim

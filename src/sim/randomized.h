@@ -1,0 +1,50 @@
+// Randomized rumor spreading under the paper's receive-capacity model —
+// the online/decentralized baseline from the related work (the paper cites
+// Feige, Peleg, Raghavan & Upfal's randomized broadcast [6]).
+//
+// Protocol per round (PUSH, optionally PULL):
+//   * every processor picks a uniformly random neighbor and offers one
+//     uniformly random held message (what the target lacks is unknown to
+//     it).  The `push_newest` variant offers the most recently learned
+//     message instead — tempting but INCOMPLETE: once everything is "old"
+//     at every holder, coverage gaps can persist forever (a test
+//     demonstrates the stall);
+//   * the model's rule 1 bites: a processor offered several messages in
+//     one round RECEIVES ONLY ONE (uniformly chosen); the rest are lost —
+//     exactly the collision behaviour of single-frequency wireless
+//     receivers (§2's motivation).
+//
+// No global schedule exists; the protocol runs until every processor knows
+// everything (or `round_limit`).  Contrast with the deterministic n + r
+// schedule in bench/randomized_vs_scheduled.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace mg::sim {
+
+struct RandomizedOptions {
+  bool pull = false;        ///< also request a message from a random neighbor
+  bool push_newest = false;  ///< newest-first offers (may stall!)
+  std::size_t round_limit = 1'000'000;
+};
+
+struct RandomizedResult {
+  bool completed = false;
+  std::size_t rounds = 0;          ///< rounds until global completion
+  std::size_t transmissions = 0;   ///< offers actually delivered
+  std::size_t collisions = 0;      ///< offers lost to rule 1
+  std::size_t useless = 0;         ///< delivered but already known
+};
+
+/// Runs randomized gossip on a connected graph (processor v starts with
+/// message v) until completion or the round limit.
+[[nodiscard]] RandomizedResult randomized_gossip(const graph::Graph& g,
+                                                 Rng& rng,
+                                                 const RandomizedOptions&
+                                                     options = {});
+
+}  // namespace mg::sim

@@ -1,0 +1,64 @@
+// Fixed-capacity dynamic bitset used for per-processor hold sets h_i.  A
+// processor's knowledge is a subset of the n messages; the simulator and
+// validator need set/test/count/all at word speed for O(n^2) total
+// schedule-checking work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.h"
+
+namespace mg {
+
+/// Bit vector of a size fixed at construction.
+class DynamicBitset {
+ public:
+  explicit DynamicBitset(std::size_t bits = 0)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    MG_EXPECTS(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    MG_EXPECTS(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    MG_EXPECTS(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return total;
+  }
+
+  /// True when every bit is set.
+  [[nodiscard]] bool all() const { return count() == bits_; }
+
+  /// True when no bit is set.
+  [[nodiscard]] bool none() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool operator==(const DynamicBitset&) const = default;
+
+ private:
+  std::size_t bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mg

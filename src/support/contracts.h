@@ -1,0 +1,68 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines (I.6,
+// I.8): preconditions, postconditions and internal invariants.  Violations
+// throw `mg::ContractViolation` rather than aborting so that library users
+// (and the test suite) can observe and handle misuse deterministically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mg {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    long line, const std::string& message)
+      : std::logic_error(std::string(kind) + " failed: (" + expr + ") at " +
+                         file + ":" + std::to_string(line) +
+                         (message.empty() ? "" : ": " + message)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, long line,
+                                       const std::string& message = {}) {
+  throw ContractViolation(kind, expr, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace mg
+
+/// Precondition check: argument/state requirements at function entry.
+#define MG_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mg::detail::contract_fail("precondition", #cond, __FILE__,           \
+                                  __LINE__);                                 \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define MG_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mg::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, \
+                                  (msg));                                    \
+  } while (false)
+
+/// Postcondition check: result/state guarantees at function exit.
+#define MG_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mg::detail::contract_fail("postcondition", #cond, __FILE__,          \
+                                  __LINE__);                                 \
+  } while (false)
+
+/// Internal invariant that should hold at this program point.
+#define MG_ASSERT(cond)                                                      \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mg::detail::contract_fail("invariant", #cond, __FILE__, __LINE__);   \
+  } while (false)
+
+#define MG_ASSERT_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::mg::detail::contract_fail("invariant", #cond, __FILE__, __LINE__,    \
+                                  (msg));                                    \
+  } while (false)

@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch used by the benchmark harness and the
+// parallel-construction speedup measurements.
+#pragma once
+
+#include <chrono>
+
+namespace mg {
+
+/// Starts timing at construction; `seconds()`/`millis()` report the elapsed
+/// monotonic time, `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mg

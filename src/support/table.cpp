@@ -1,0 +1,61 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/contracts.h"
+
+namespace mg {
+
+void TextTable::new_row() { rows_.emplace_back(); }
+
+void TextTable::cell(const std::string& value) {
+  MG_EXPECTS_MSG(!rows_.empty(), "call new_row() before cell()");
+  rows_.back().push_back(value);
+}
+
+void TextTable::cell(long long value) { cell(std::to_string(value)); }
+void TextTable::cell(unsigned long long value) { cell(std::to_string(value)); }
+void TextTable::cell(int value) { cell(std::to_string(value)); }
+void TextTable::cell(std::size_t value) { cell(std::to_string(value)); }
+
+void TextTable::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  cell(std::string(buffer));
+}
+
+std::string TextTable::render(bool header_separator) const {
+  std::size_t columns = 0;
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string value = c < row.size() ? row[c] : std::string();
+      out << (c == 0 ? "| " : " ");
+      out << value << std::string(widths[c] - value.size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    emit_row(rows_[r]);
+    if (header_separator && r == 0 && rows_.size() > 1) {
+      for (std::size_t c = 0; c < columns; ++c) {
+        out << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mg

@@ -1,0 +1,36 @@
+// Plain-text table formatter used by the benchmark harness to print the
+// paper's tables (Tables 1-4) and the rounds-vs-bounds series in a layout
+// matching the paper's row/column structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mg {
+
+/// Column-aligned ASCII table.  Rows may be added cell-by-cell; the widths
+/// are computed at render time.  The first row added is treated as the
+/// header when `render` is called with a separator.
+class TextTable {
+ public:
+  /// Starts a new row; subsequent `cell` calls append to it.
+  void new_row();
+
+  void cell(const std::string& value);
+  void cell(long long value);
+  void cell(unsigned long long value);
+  void cell(int value);
+  void cell(std::size_t value);
+  void cell(double value, int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table.  When `header_separator` is true a dashed rule is
+  /// inserted after the first row.
+  [[nodiscard]] std::string render(bool header_separator = true) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mg

@@ -1,0 +1,86 @@
+#include "support/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "support/contracts.h"
+
+namespace mg {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MG_ASSERT_MSG(!stopping_, "submit on a stopping pool");
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks =
+      std::min(count, std::max<std::size_t>(1, thread_count()) * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = chunks;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    submit([&, begin, end] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mg

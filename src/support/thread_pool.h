@@ -1,0 +1,47 @@
+// Minimal fixed-size thread pool with a blocking `parallel_for` used to
+// parallelize the O(mn) all-sources BFS of the minimum-depth spanning tree
+// construction (paper §3.1).  The pool hands out contiguous index chunks,
+// which keeps the per-source BFS state cache-local.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mg {
+
+/// Fixed set of worker threads executing submitted tasks FIFO.  Destruction
+/// drains outstanding tasks before joining (RAII; no detached threads).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs `body(i)` for every i in [0, count), distributing contiguous
+  /// chunks over the workers, and blocks until all iterations finish.
+  /// Exceptions thrown by `body` are rethrown (the first one) on the caller.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace mg

@@ -1,0 +1,44 @@
+#include "tree/labeling.h"
+
+#include "support/contracts.h"
+
+namespace mg::tree {
+
+DfsLabeling::DfsLabeling(const RootedTree& tree) : tree_(&tree) {
+  const Vertex n = tree.vertex_count();
+  label_.assign(n, 0);
+  vertex_.assign(n, graph::kNoVertex);
+  end_.assign(n, 0);
+
+  const auto order = tree.preorder();
+  for (Label l = 0; l < n; ++l) {
+    label_[order[l]] = l;
+    vertex_[l] = order[l];
+  }
+  // In preorder, a subtree occupies a contiguous label block; its end is
+  // computed bottom-up over the reversed preorder.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Vertex v = *it;
+    Label end = label_[v];
+    for (Vertex c : tree.children(v)) end = std::max(end, end_[c]);
+    end_[v] = end;
+  }
+  MG_ENSURES(label_[tree.root()] == 0);
+  MG_ENSURES(end_[tree.root()] == n - 1);
+}
+
+std::uint32_t DfsLabeling::lip_count(Vertex v) const {
+  if (tree_->is_root(v)) return 0;
+  return label_[v] == label_[tree_->parent(v)] + 1 ? 1u : 0u;
+}
+
+Vertex DfsLabeling::child_owning(Vertex v, Label m) const {
+  MG_EXPECTS(is_body(v, m) && m != label_[v]);
+  for (Vertex c : tree_->children(v)) {
+    if (label_[c] <= m && m <= end_[c]) return c;
+  }
+  MG_ASSERT_MSG(false, "b-message not found in any child subtree");
+  return graph::kNoVertex;
+}
+
+}  // namespace mg::tree

@@ -1,0 +1,61 @@
+// §3.2 DFS message labeling: messages are labeled in depth-first-search
+// preorder starting at the root (label 0) so that the messages originating
+// in the subtree of a vertex with label i form the contiguous block
+// [i, j].  Every scheduling decision of the paper's algorithms is a
+// function of (i, j, k) — this module computes them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/spanning_tree.h"
+
+namespace mg::tree {
+
+/// Message label; message `l` originates at the vertex with DFS label `l`.
+using Label = std::uint32_t;
+
+/// DFS preorder labeling of a rooted tree plus the subtree label intervals.
+class DfsLabeling {
+ public:
+  explicit DfsLabeling(const RootedTree& tree);
+
+  /// DFS label (= label of the message originating at `v`); the paper's i.
+  [[nodiscard]] Label label(Vertex v) const { return label_[v]; }
+
+  /// Vertex holding the message with the given label.
+  [[nodiscard]] Vertex vertex_of(Label label) const { return vertex_[label]; }
+
+  /// Largest label in the subtree rooted at `v`; the paper's j.  The
+  /// subtree's messages are exactly [label(v), subtree_end(v)].
+  [[nodiscard]] Label subtree_end(Vertex v) const { return end_[v]; }
+
+  /// Number of messages (= vertices) in the subtree of `v`.
+  [[nodiscard]] std::uint32_t subtree_size(Vertex v) const {
+    return end_[v] - label_[v] + 1;
+  }
+
+  /// True when message `m` originates inside the subtree of `v`
+  /// (a *b-message* of `v`); otherwise it is an *o-message* of `v`.
+  [[nodiscard]] bool is_body(Vertex v, Label m) const {
+    return label_[v] <= m && m <= end_[v];
+  }
+
+  /// The paper's w at `v`: 1 when v's start message i is the *lookahead in
+  /// parent* (lip) message, i.e. i = i' + 1 where i' is the parent's label
+  /// (equivalently: v is its parent's first child in DFS order); 0 for the
+  /// root or later siblings.
+  [[nodiscard]] std::uint32_t lip_count(Vertex v) const;
+
+  /// The child of `v` whose subtree contains message `m`.
+  /// Precondition: `m` is a b-message of `v` other than v's own.
+  [[nodiscard]] Vertex child_owning(Vertex v, Label m) const;
+
+ private:
+  const RootedTree* tree_;
+  std::vector<Label> label_;   // vertex -> label (i)
+  std::vector<Vertex> vertex_; // label -> vertex
+  std::vector<Label> end_;     // vertex -> j
+};
+
+}  // namespace mg::tree

@@ -1,0 +1,111 @@
+#include "tree/spanning_tree.h"
+
+#include <algorithm>
+
+#include "graph/properties.h"
+#include "support/contracts.h"
+#include "support/thread_pool.h"
+
+namespace mg::tree {
+
+RootedTree RootedTree::from_parents(Vertex root, std::vector<Vertex> parent) {
+  const auto n = static_cast<Vertex>(parent.size());
+  MG_EXPECTS(n >= 1);
+  MG_EXPECTS(root < n);
+  MG_EXPECTS_MSG(parent[root] == graph::kNoVertex,
+                 "root must have no parent");
+
+  RootedTree t;
+  t.root_ = root;
+  t.parent_ = std::move(parent);
+  t.children_.assign(n, {});
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == root) continue;
+    MG_EXPECTS_MSG(t.parent_[v] < n, "non-root vertex missing a parent");
+    t.children_[t.parent_[v]].push_back(v);  // ascending since v ascends
+  }
+
+  // Levels via preorder walk; also validates acyclicity/reachability.
+  t.level_.assign(n, 0);
+  std::vector<Vertex> stack{root};
+  Vertex visited = 0;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (Vertex c : t.children_[v]) {
+      t.level_[c] = t.level_[v] + 1;
+      t.height_ = std::max(t.height_, t.level_[c]);
+      stack.push_back(c);
+    }
+  }
+  MG_EXPECTS_MSG(visited == n, "parent array does not encode a single tree");
+  return t;
+}
+
+std::vector<Vertex> RootedTree::preorder() const {
+  std::vector<Vertex> order;
+  order.reserve(vertex_count());
+  std::vector<Vertex> stack{root_};
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    const auto& kids = children_[v];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+Graph RootedTree::as_graph() const {
+  graph::GraphBuilder b(vertex_count());
+  for (Vertex v = 0; v < vertex_count(); ++v) {
+    if (v != root_) b.add_edge(v, parent_[v]);
+  }
+  return b.build();
+}
+
+RootedTree bfs_tree(const Graph& g, Vertex root) {
+  const Vertex n = g.vertex_count();
+  MG_EXPECTS(root < n);
+  std::vector<Vertex> parent(n, graph::kNoVertex);
+  std::vector<char> seen(n, 0);
+  std::vector<Vertex> frontier{root};
+  std::vector<Vertex> next;
+  seen[root] = 1;
+  while (!frontier.empty()) {
+    next.clear();
+    for (Vertex u : frontier) {
+      for (Vertex v : g.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    // Frontier kept sorted so each child's parent is its smallest-id
+    // neighbor in the previous level (deterministic construction).
+    std::sort(next.begin(), next.end());
+    frontier.swap(next);
+  }
+  MG_EXPECTS_MSG(std::count(seen.begin(), seen.end(), 1) == n,
+                 "bfs_tree requires a connected graph");
+  return RootedTree::from_parents(root, std::move(parent));
+}
+
+RootedTree min_depth_spanning_tree(const Graph& g, ThreadPool* pool) {
+  const auto metrics = graph::compute_metrics(g, pool);
+  RootedTree t = bfs_tree(g, metrics.center);
+  MG_ENSURES(t.height() == metrics.radius);
+  return t;
+}
+
+RootedTree root_tree_graph(const Graph& g, Vertex root) {
+  MG_EXPECTS_MSG(graph::is_tree(g), "root_tree_graph requires a tree");
+  return bfs_tree(g, root);
+}
+
+}  // namespace mg::tree

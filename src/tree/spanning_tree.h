@@ -1,0 +1,81 @@
+// Rooted spanning trees and the paper's §3.1 construction: the
+// minimum-depth spanning tree obtained by BFS from every vertex (O(mn))
+// keeping a tree of least height, whose height equals the network radius.
+// All gossip communication is then performed on this tree network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::tree {
+
+using graph::Graph;
+using graph::Vertex;
+
+/// A rooted tree over vertices 0..n-1 with an explicit, stable child order
+/// (the order fixes the DFS labeling of §3.2: "for every vertex, fix the
+/// ordering of the subtrees in any arbitrary order").
+class RootedTree {
+ public:
+  /// Builds from a parent array (`parent[root] == graph::kNoVertex`).
+  /// Children are ordered by ascending vertex id — the library's canonical
+  /// subtree order.  Validates that the array encodes one tree.
+  static RootedTree from_parents(Vertex root,
+                                 std::vector<Vertex> parent);
+
+  [[nodiscard]] Vertex vertex_count() const {
+    return static_cast<Vertex>(parent_.size());
+  }
+  [[nodiscard]] Vertex root() const { return root_; }
+  [[nodiscard]] Vertex parent(Vertex v) const { return parent_[v]; }
+  [[nodiscard]] const std::vector<Vertex>& children(Vertex v) const {
+    return children_[v];
+  }
+  [[nodiscard]] bool is_root(Vertex v) const { return v == root_; }
+  [[nodiscard]] bool is_leaf(Vertex v) const { return children_[v].empty(); }
+
+  /// Level (depth) of `v`: root = 0, its children = 1, ... (paper §3.2).
+  [[nodiscard]] std::uint32_t level(Vertex v) const { return level_[v]; }
+
+  /// Height of the tree = max level; equals the radius when this tree was
+  /// produced by `min_depth_spanning_tree`.
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+  /// Vertices in preorder (root first, children in stored order).
+  [[nodiscard]] std::vector<Vertex> preorder() const;
+
+  /// The tree as a free graph (n-1 edges).
+  [[nodiscard]] Graph as_graph() const;
+
+ private:
+  Vertex root_ = 0;
+  std::vector<Vertex> parent_;
+  std::vector<std::vector<Vertex>> children_;
+  std::vector<std::uint32_t> level_;
+  std::uint32_t height_ = 0;
+};
+
+/// BFS spanning tree of a connected graph rooted at `root`; each vertex's
+/// parent is its smallest-id neighbor in the previous BFS level, making the
+/// construction deterministic.
+[[nodiscard]] RootedTree bfs_tree(const Graph& g, Vertex root);
+
+/// §3.1: a spanning tree of least possible height over a connected graph —
+/// BFS from a center vertex (the smallest-id vertex of minimum
+/// eccentricity, located by n BFS traversals).  When `pool` is non-null the
+/// eccentricity sweeps run in parallel.  The result's height() equals the
+/// graph radius.
+[[nodiscard]] RootedTree min_depth_spanning_tree(const Graph& g,
+                                                 ThreadPool* pool = nullptr);
+
+/// Interprets a tree-shaped free graph as a RootedTree rooted at `root`.
+/// Precondition: `g` is a tree.
+[[nodiscard]] RootedTree root_tree_graph(const Graph& g, Vertex root);
+
+}  // namespace mg::tree

@@ -1,0 +1,85 @@
+// Tests for the k-port bounded-fanout gossip: the telephone/multicast
+// interpolation.
+#include <gtest/gtest.h>
+
+#include "gossip/bounded_fanout.h"
+#include "gossip/telephone.h"
+#include "gossip/updown.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "test_util.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(BoundedFanout, CapOneEqualsTelephone) {
+  for (const auto& family : test::families()) {
+    const auto instance = Instance::from_network(family.make(7));
+    EXPECT_TRUE(model::equivalent(bounded_fanout_gossip(instance, 1),
+                                  telephone_gossip(instance)))
+        << family.name;
+  }
+}
+
+TEST(BoundedFanout, UnboundedEqualsUpDown) {
+  for (const auto& family : test::families()) {
+    const auto instance = Instance::from_network(family.make(7));
+    EXPECT_TRUE(model::equivalent(
+        bounded_fanout_gossip(instance, kUnboundedFanout),
+        updown_gossip(instance)))
+        << family.name;
+  }
+}
+
+TEST(BoundedFanout, ValidForEveryCap) {
+  const auto instance = Instance::from_network(graph::star(12));
+  for (graph::Vertex cap = 1; cap <= 12; ++cap) {
+    const auto schedule = bounded_fanout_gossip(instance, cap);
+    const auto report = test::expect_valid_gossip(instance, schedule);
+    ASSERT_TRUE(report.ok) << "cap=" << cap << ": " << report.error;
+    EXPECT_LE(schedule.max_fanout(), cap) << "cap=" << cap;
+  }
+}
+
+TEST(BoundedFanout, MonotoneInCap) {
+  // More ports never hurt: total time is non-increasing in the cap.
+  for (const auto& family : test::families()) {
+    const auto instance = Instance::from_network(family.make(8));
+    std::size_t previous = SIZE_MAX;
+    for (graph::Vertex cap : {1u, 2u, 4u, 8u, kUnboundedFanout}) {
+      const auto time = bounded_fanout_gossip(instance, cap).total_time();
+      EXPECT_LE(time, previous) << family.name << " cap=" << cap;
+      previous = time;
+    }
+  }
+}
+
+TEST(BoundedFanout, StarSaturationPoint) {
+  // On a star the hub relays (n-1) o-message batches per leaf set; cap c
+  // divides the down load by ~c, so doubling the cap should roughly halve
+  // the time until the n - 1 floor is reached.
+  const auto instance = Instance::from_network(graph::star(17));
+  const auto cap1 = bounded_fanout_gossip(instance, 1).total_time();
+  const auto cap4 = bounded_fanout_gossip(instance, 4).total_time();
+  const auto cap16 = bounded_fanout_gossip(instance, 16).total_time();
+  EXPECT_GT(cap1, 3 * cap4 / 2);
+  EXPECT_GT(cap4, cap16);
+  EXPECT_GE(cap16, 16u);  // trivial bound
+}
+
+TEST(BoundedFanout, CapZeroRejected) {
+  const auto instance = Instance::from_network(graph::path(4));
+  EXPECT_THROW((void)bounded_fanout_gossip(instance, 0), ContractViolation);
+}
+
+TEST(BoundedFanout, ChainInsensitiveToCap) {
+  // A chain rooted at its end has one child per vertex, so every downward
+  // relay is unicast regardless of the cap: identical schedules.
+  const Instance instance(tree::root_tree_graph(graph::path(15), 0));
+  EXPECT_TRUE(model::equivalent(
+      bounded_fanout_gossip(instance, 1),
+      bounded_fanout_gossip(instance, kUnboundedFanout)));
+}
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,75 @@
+// Tests for the lower-bound helpers (§1, §4) and that the algorithms
+// respect them empirically.
+#include <gtest/gtest.h>
+
+#include "gossip/bounds.h"
+#include "gossip/concurrent_updown.h"
+#include "gossip/instance.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Bounds, TrivialLowerBound) {
+  EXPECT_EQ(trivial_lower_bound(0), 0u);
+  EXPECT_EQ(trivial_lower_bound(1), 0u);
+  EXPECT_EQ(trivial_lower_bound(2), 1u);
+  EXPECT_EQ(trivial_lower_bound(100), 99u);
+}
+
+TEST(Bounds, OddLineLowerBound) {
+  // §1's worked values: P3 -> 3, and generally n + m - 1 for n = 2m + 1.
+  EXPECT_EQ(odd_line_lower_bound(3), 3u);
+  EXPECT_EQ(odd_line_lower_bound(5), 6u);
+  EXPECT_EQ(odd_line_lower_bound(21), 30u);
+}
+
+TEST(Bounds, ConcurrentUpdownTimeFormula) {
+  EXPECT_EQ(concurrent_updown_time(1, 0), 0u);
+  EXPECT_EQ(concurrent_updown_time(16, 3), 19u);
+}
+
+TEST(Bounds, ApproxRatioBound) {
+  EXPECT_DOUBLE_EQ(approx_ratio_bound(1, 0), 1.0);
+  // Worst case r = n/2: ratio -> 1.5 as n grows.
+  EXPECT_LE(approx_ratio_bound(100, 50), 1.52);
+  EXPECT_GE(approx_ratio_bound(100, 50), 1.5);
+}
+
+TEST(Bounds, AlgorithmsNeverBeatTrivialBound) {
+  for (const auto& family : test::families()) {
+    const auto g = family.make(7);
+    const auto instance = Instance::from_network(g);
+    EXPECT_GE(concurrent_updown(instance).total_time(),
+              trivial_lower_bound(g.vertex_count()))
+        << family.name;
+  }
+}
+
+TEST(Bounds, OddLineGapIsExactlyOne) {
+  // §4: "the one that our algorithm constructs is n + r"; the lower bound
+  // is n + r - 1, so the gap is exactly 1 on odd lines.
+  for (graph::Vertex m : {1u, 3u, 8u}) {
+    const graph::Vertex n = 2 * m + 1;
+    const auto instance = Instance::from_network(graph::path(n));
+    EXPECT_EQ(concurrent_updown(instance).total_time() -
+                  odd_line_lower_bound(n),
+              1u);
+  }
+}
+
+TEST(Bounds, RadiusHalfNOnWorstFamily) {
+  // The ratio argument uses r <= n/2, tight on cycles/lines.
+  for (graph::Vertex n : {8u, 16u}) {
+    const auto instance = Instance::from_network(graph::cycle(n));
+    EXPECT_EQ(instance.radius(), n / 2);
+    const double ratio = static_cast<double>(
+                             concurrent_updown(instance).total_time()) /
+                         static_cast<double>(trivial_lower_bound(n));
+    EXPECT_LE(ratio, approx_ratio_bound(n, n / 2) + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mg::gossip

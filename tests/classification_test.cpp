@@ -1,0 +1,89 @@
+// Tests for the §3.2 message taxonomy (o/s/l/r roles, lip/rip partitions)
+// against the paper's own running example.
+#include <gtest/gtest.h>
+
+#include "gossip/classification.h"
+#include "graph/named.h"
+#include "support/contracts.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::gossip {
+namespace {
+
+struct ClassificationTest : ::testing::Test {
+  tree::RootedTree tree = tree::min_depth_spanning_tree(graph::fig4_network());
+  tree::DfsLabeling labels{tree};
+};
+
+TEST_F(ClassificationTest, RolesAtVertexFour) {
+  // Vertex 4: i = 4, j = 10 (Table 3's vertex).
+  EXPECT_EQ(classify(labels, 4, 3), Role::kOther);
+  EXPECT_EQ(classify(labels, 4, 4), Role::kStart);
+  EXPECT_EQ(classify(labels, 4, 5), Role::kLookahead);
+  EXPECT_EQ(classify(labels, 4, 6), Role::kRemaining);
+  EXPECT_EQ(classify(labels, 4, 10), Role::kRemaining);
+  EXPECT_EQ(classify(labels, 4, 11), Role::kOther);
+  EXPECT_EQ(classify(labels, 4, 0), Role::kOther);
+}
+
+TEST_F(ClassificationTest, RootLabelingMatchesPaper) {
+  // "Message i = 0 is the s-message, message 1 is the l-message, and
+  //  messages 2..n-1 are r-messages."
+  EXPECT_EQ(classify(labels, 0, 0), Role::kStart);
+  EXPECT_EQ(classify(labels, 0, 1), Role::kLookahead);
+  for (tree::Label m = 2; m < 16; ++m) {
+    EXPECT_EQ(classify(labels, 0, m), Role::kRemaining) << m;
+  }
+}
+
+TEST_F(ClassificationTest, LeafHasNoLookahead) {
+  // Vertex 3 is a leaf: i = j = 3, so no l- or r-messages.
+  EXPECT_EQ(classify(labels, 3, 3), Role::kStart);
+  EXPECT_EQ(classify(labels, 3, 4), Role::kOther);
+  EXPECT_EQ(classify(labels, 3, 2), Role::kOther);
+}
+
+TEST_F(ClassificationTest, LipOnlyForFirstChildren) {
+  // Vertex 5 is the first child of 4 (5 = 4 + 1): its s-message is a lip.
+  EXPECT_TRUE(is_lip(tree, labels, 5, 5));
+  // Vertex 8 is a later sibling: no lip-message.
+  EXPECT_FALSE(is_lip(tree, labels, 8, 8));
+  // Non-start messages are never lips.
+  EXPECT_FALSE(is_lip(tree, labels, 5, 6));
+}
+
+TEST_F(ClassificationTest, RipRangeAtFirstChild) {
+  // Vertex 1 (first child of root, interval [1,3]): lip is 1, rips are 2,3.
+  EXPECT_FALSE(is_rip(tree, labels, 1, 1));
+  EXPECT_TRUE(is_rip(tree, labels, 1, 2));
+  EXPECT_TRUE(is_rip(tree, labels, 1, 3));
+  EXPECT_FALSE(is_rip(tree, labels, 1, 4));
+}
+
+TEST_F(ClassificationTest, RipRangeAtLaterSibling) {
+  // Vertex 8 (second child of 4, interval [8,10]): all of 8..10 are rips.
+  for (tree::Label m = 8; m <= 10; ++m) {
+    EXPECT_TRUE(is_rip(tree, labels, 8, m)) << m;
+  }
+  EXPECT_FALSE(is_rip(tree, labels, 8, 7));
+}
+
+TEST_F(ClassificationTest, BodyMessagesPartitionedByParentExactly) {
+  // Every b-message of a non-root vertex is exactly one of lip / rip.
+  for (graph::Vertex v = 1; v < 16; ++v) {
+    const auto i = labels.label(v);
+    const auto j = labels.subtree_end(v);
+    for (tree::Label m = i; m <= j; ++m) {
+      EXPECT_NE(is_lip(tree, labels, v, m), is_rip(tree, labels, v, m))
+          << "v=" << v << " m=" << m;
+    }
+  }
+}
+
+TEST_F(ClassificationTest, LipRequiresNonRoot) {
+  EXPECT_THROW((void)is_lip(tree, labels, 0, 0), ContractViolation);
+  EXPECT_THROW((void)is_rip(tree, labels, 0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,96 @@
+// Tests for Pruefer-sequence tree enumeration, plus the exhaustive
+// small-tree correctness sweep: Theorem 1 holds on EVERY labeled tree with
+// n <= 6 (1296 trees), not just sampled ones.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gossip/concurrent_updown.h"
+#include "graph/enumeration.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+#include "model/validator.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Enumeration, CayleyCounts) {
+  EXPECT_EQ(labeled_tree_count(1), 1u);
+  EXPECT_EQ(labeled_tree_count(2), 1u);
+  EXPECT_EQ(labeled_tree_count(3), 3u);
+  EXPECT_EQ(labeled_tree_count(4), 16u);
+  EXPECT_EQ(labeled_tree_count(5), 125u);
+  EXPECT_EQ(labeled_tree_count(6), 1296u);
+  EXPECT_EQ(labeled_tree_count(7), 16807u);
+}
+
+TEST(Enumeration, VisitsExactlyCayleyManyDistinctTrees) {
+  for (Vertex n : {3u, 4u, 5u}) {
+    std::set<std::string> seen;
+    const auto visited = for_each_labeled_tree(n, [&](const Graph& t) {
+      EXPECT_TRUE(is_tree(t));
+      EXPECT_EQ(t.vertex_count(), n);
+      seen.insert(to_edge_list(t));
+      return true;
+    });
+    EXPECT_EQ(visited, labeled_tree_count(n));
+    EXPECT_EQ(seen.size(), labeled_tree_count(n));
+  }
+}
+
+TEST(Enumeration, EarlyStop) {
+  std::size_t calls = 0;
+  const auto visited = for_each_labeled_tree(5, [&](const Graph&) {
+    return ++calls < 10;
+  });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(Enumeration, SpecificPrueferDecoding) {
+  // Pruefer (3, 3) on 4 vertices: star centered at 3.
+  const std::vector<Vertex> pruefer{3, 3};
+  const Graph t = tree_from_pruefer(4, pruefer);
+  EXPECT_EQ(t.degree(3), 3u);
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Enumeration, SmallSizes) {
+  EXPECT_EQ(for_each_labeled_tree(1,
+                                  [](const Graph& t) {
+                                    EXPECT_EQ(t.vertex_count(), 1u);
+                                    return true;
+                                  }),
+            1u);
+  EXPECT_EQ(for_each_labeled_tree(2,
+                                  [](const Graph& t) {
+                                    EXPECT_EQ(t.edge_count(), 1u);
+                                    return true;
+                                  }),
+            1u);
+}
+
+TEST(Enumeration, ExhaustiveTheoremOneUpToSix) {
+  // Theorem 1 on the full labeled-tree space for n <= 6: the schedule is
+  // feasible, complete and takes exactly n + height, for every rooting at
+  // vertex 0.
+  for (Vertex n : {3u, 4u, 5u, 6u}) {
+    std::size_t checked = 0;
+    for_each_labeled_tree(n, [&](const Graph& t) {
+      const gossip::Instance instance(tree::root_tree_graph(t, 0));
+      const auto schedule = gossip::concurrent_updown(instance);
+      const auto report = model::validate_schedule(t, schedule,
+                                                   instance.initial());
+      EXPECT_TRUE(report.ok) << report.error << "\n" << to_edge_list(t);
+      EXPECT_EQ(schedule.total_time(), n + instance.radius())
+          << to_edge_list(t);
+      ++checked;
+      return report.ok;
+    });
+    EXPECT_EQ(checked, labeled_tree_count(n));
+  }
+}
+
+}  // namespace
+}  // namespace mg::graph

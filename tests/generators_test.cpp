@@ -1,0 +1,204 @@
+// Tests for every graph family generator: sizes, edge counts, degrees,
+// connectivity and (where known in closed form) radius/diameter.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = path(6);
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(3), 2u);
+  EXPECT_TRUE(is_tree(g));
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, 5u);
+  EXPECT_EQ(m.radius, 3u);  // ceil(5/2)
+}
+
+TEST(Generators, OddPathRadiusIsHalf) {
+  const Graph g = path(9);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 4u);
+  EXPECT_EQ(m.center, 4u);  // the midpoint
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle(7);
+  EXPECT_EQ(g.edge_count(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 3u);
+  EXPECT_EQ(m.diameter, 3u);
+}
+
+TEST(Generators, CycleRequiresThree) {
+  EXPECT_THROW(cycle(2), ContractViolation);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 1u);
+  EXPECT_EQ(m.diameter, 1u);
+}
+
+TEST(Generators, CompleteBipartiteShape) {
+  const Graph g = complete_bipartite(2, 3);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = star(9);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 1u);
+  EXPECT_EQ(m.center, 0u);
+  EXPECT_EQ(m.diameter, 2u);
+}
+
+TEST(Generators, WheelShape) {
+  const Graph g = wheel(8);  // hub + 7-cycle
+  EXPECT_EQ(g.vertex_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_EQ(g.degree(0), 7u);
+  for (Vertex v = 1; v < 8; ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_EQ(compute_metrics(g).radius, 1u);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 4u * 2);  // rows*(cols-1)+cols*(rows-1)
+  EXPECT_TRUE(is_bipartite(g));
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, 5u);  // corner to corner
+}
+
+TEST(Generators, SingleRowGridIsPath) {
+  EXPECT_EQ(grid(1, 5), path(5));
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.vertex_count(), 20u);
+  for (Vertex v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.diameter, 2u + 2u);  // floor(4/2)+floor(5/2)
+  EXPECT_EQ(m.radius, m.diameter);  // vertex-transitive
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 4u);
+  EXPECT_EQ(m.diameter, 4u);
+}
+
+TEST(Generators, KAryTreeIsTree) {
+  for (Vertex k : {1u, 2u, 3u, 5u}) {
+    const Graph g = k_ary_tree(40, k);
+    EXPECT_TRUE(is_tree(g)) << "k=" << k;
+  }
+}
+
+TEST(Generators, BinaryTreeRootDegree) {
+  const Graph g = k_ary_tree(7, 2);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);  // parent + two children
+  EXPECT_EQ(g.degree(6), 1u);  // leaf
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 3u);  // one spine neighbor + 2 legs
+  EXPECT_EQ(g.degree(1), 4u);  // two spine neighbors + 2 legs
+}
+
+TEST(Generators, BinomialTreeShape) {
+  const Graph g = binomial_tree(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 4u);  // root of B_4 has degree 4
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = lollipop(4, 3);
+  EXPECT_EQ(g.vertex_count(), 7u);
+  EXPECT_EQ(g.edge_count(), 6u + 3u);
+  EXPECT_EQ(g.degree(6), 1u);  // tail end
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomTreeIsUniformlyATree) {
+  Rng rng(99);
+  for (Vertex n : {1u, 2u, 3u, 10u, 57u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.vertex_count(), n);
+    EXPECT_TRUE(is_tree(g)) << "n=" << n;
+  }
+}
+
+TEST(Generators, RandomTreeDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(random_tree(30, a), random_tree(30, b));
+}
+
+TEST(Generators, RandomGnpConnected) {
+  Rng rng(123);
+  for (double p : {0.0, 0.05, 0.5}) {
+    const Graph g = random_connected_gnp(40, p, rng);
+    EXPECT_TRUE(is_connected(g)) << "p=" << p;
+    EXPECT_EQ(g.vertex_count(), 40u);
+  }
+}
+
+TEST(Generators, RandomGnpDensityScalesWithP) {
+  Rng rng(7);
+  const auto sparse = random_connected_gnp(60, 0.02, rng).edge_count();
+  const auto dense = random_connected_gnp(60, 0.5, rng).edge_count();
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(Generators, RandomGeometricConnected) {
+  Rng rng(21);
+  for (double radius : {0.05, 0.2, 0.5}) {
+    const Graph g = random_geometric(50, radius, rng);
+    EXPECT_TRUE(is_connected(g)) << "radius=" << radius;
+  }
+}
+
+TEST(Generators, RandomRegularNearRegularAndConnected) {
+  Rng rng(31);
+  const Graph g = random_regular(30, 4, rng);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  EXPECT_GE(stats.min, 2u);         // spanning-cycle floor
+  EXPECT_LE(stats.max, 4u + 2u);    // pairing + cycle overlay
+}
+
+TEST(Generators, RandomRegularParityPrecondition) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular(5, 3, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mg::graph

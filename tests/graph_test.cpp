@@ -1,0 +1,125 @@
+// Unit tests for the CSR graph substrate and its text I/O.
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "support/contracts.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Graph, EmptyGraphHasIsolatedVertices) {
+  Graph g(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, BuilderAddsUndirectedEdges) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, OutOfRangeEndpointRejected) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), ContractViolation);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4).add_edge(2, 0).add_edge(2, 3).add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, EdgesListedOnceOrdered) {
+  GraphBuilder b(4);
+  b.add_edge(3, 0).add_edge(2, 1);
+  const auto edges = Graph(b.build()).edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], Edge(0, 3));
+  EXPECT_EQ(edges[1], Edge(1, 2));
+}
+
+TEST(Graph, FromEdgesEquivalentToBuilder) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Graph a = Graph::from_edges(3, edges);
+  GraphBuilder b(3);
+  b.add_edge(0, 1).add_edge(1, 2);
+  EXPECT_EQ(a, b.build());
+}
+
+TEST(Graph, BuilderIsReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph first = b.build();
+  b.add_edge(1, 2);
+  const Graph second = b.build();
+  EXPECT_EQ(first.edge_count(), 1u);
+  EXPECT_EQ(second.edge_count(), 1u);
+  EXPECT_TRUE(second.has_edge(1, 2));
+  EXPECT_FALSE(second.has_edge(0, 1));
+}
+
+TEST(GraphIo, RoundTripsEdgeList) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1).add_edge(1, 2).add_edge(0, 3);
+  const Graph g = b.build();
+  const Graph parsed = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(g, parsed);
+}
+
+TEST(GraphIo, ParsesExplicitText) {
+  const Graph g = from_edge_list("3 2\n0 1\n1 2\n");
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, RejectsMalformedHeader) {
+  EXPECT_THROW(from_edge_list("abc"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("-1 0"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsTruncatedEdges) {
+  EXPECT_THROW(from_edge_list("3 2\n0 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsBadEndpoints) {
+  EXPECT_THROW(from_edge_list("3 1\n0 5\n"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("3 1\n1 1\n"), std::invalid_argument);
+}
+
+TEST(GraphIo, DotContainsVerticesAndEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  const std::string dot = to_dot(b.build(), {"a", "b", "c"});
+  EXPECT_NE(dot.find("graph G {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mg::graph

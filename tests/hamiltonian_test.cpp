@@ -1,0 +1,99 @@
+// Tests for the exact Hamiltonian-circuit search used by the Fig. 1-3
+// benches.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/hamiltonian.h"
+#include "graph/named.h"
+
+namespace mg::graph {
+namespace {
+
+void expect_valid_circuit(const Graph& g, const std::vector<Vertex>& circuit) {
+  ASSERT_EQ(circuit.size(), g.vertex_count());
+  std::vector<char> seen(g.vertex_count(), 0);
+  for (std::size_t p = 0; p < circuit.size(); ++p) {
+    EXPECT_FALSE(seen[circuit[p]]) << "vertex repeated";
+    seen[circuit[p]] = 1;
+    EXPECT_TRUE(g.has_edge(circuit[p], circuit[(p + 1) % circuit.size()]));
+  }
+}
+
+TEST(Hamiltonian, CycleHasCircuit) {
+  const Graph g = cycle(9);
+  const auto result = find_hamiltonian_circuit(g);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  expect_valid_circuit(g, result.circuit);
+}
+
+TEST(Hamiltonian, PathHasNone) {
+  EXPECT_EQ(find_hamiltonian_circuit(path(6)).status,
+            SearchStatus::kExhausted);
+}
+
+TEST(Hamiltonian, StarHasNone) {
+  EXPECT_EQ(find_hamiltonian_circuit(star(6)).status,
+            SearchStatus::kExhausted);
+}
+
+TEST(Hamiltonian, CompleteGraphHasCircuit) {
+  const Graph g = complete(7);
+  const auto result = find_hamiltonian_circuit(g);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  expect_valid_circuit(g, result.circuit);
+}
+
+TEST(Hamiltonian, EvenGridHasCircuit) {
+  const Graph g = grid(4, 5);
+  const auto result = find_hamiltonian_circuit(g);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  expect_valid_circuit(g, result.circuit);
+}
+
+TEST(Hamiltonian, OddOddGridHasNone) {
+  // Bipartite with unequal parts (13 vs 12) -> no Hamiltonian circuit.
+  EXPECT_EQ(find_hamiltonian_circuit(grid(5, 5)).status,
+            SearchStatus::kExhausted);
+}
+
+TEST(Hamiltonian, PetersenFamouslyHasNone) {
+  EXPECT_EQ(find_hamiltonian_circuit(petersen()).status,
+            SearchStatus::kExhausted);
+}
+
+TEST(Hamiltonian, N3WitnessHasNone) {
+  EXPECT_EQ(find_hamiltonian_circuit(n3_witness()).status,
+            SearchStatus::kExhausted);
+}
+
+TEST(Hamiltonian, HypercubeHasCircuit) {
+  // Gray-code order is a Hamiltonian circuit of Q_d.
+  const Graph g = hypercube(4);
+  const auto result = find_hamiltonian_circuit(g);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  expect_valid_circuit(g, result.circuit);
+}
+
+TEST(Hamiltonian, TorusHasCircuit) {
+  const Graph g = torus(4, 4);
+  const auto result = find_hamiltonian_circuit(g);
+  ASSERT_EQ(result.status, SearchStatus::kFound);
+  expect_valid_circuit(g, result.circuit);
+}
+
+TEST(Hamiltonian, BudgetExhaustionReported) {
+  // A tiny budget cannot finish a nontrivial search.
+  const auto result = find_hamiltonian_circuit(grid(6, 6), 10);
+  EXPECT_EQ(result.status, SearchStatus::kBudget);
+  EXPECT_LE(result.nodes_explored, 10u);
+}
+
+TEST(Hamiltonian, CompleteBipartiteBalancedVsUnbalanced) {
+  const auto balanced = find_hamiltonian_circuit(complete_bipartite(3, 3));
+  ASSERT_EQ(balanced.status, SearchStatus::kFound);
+  EXPECT_EQ(find_hamiltonian_circuit(complete_bipartite(2, 3)).status,
+            SearchStatus::kExhausted);
+}
+
+}  // namespace
+}  // namespace mg::graph

@@ -1,0 +1,109 @@
+// Tests for the Instance bundle and the timetable extraction (directly,
+// beyond their use inside the paper-table assertions).
+#include <gtest/gtest.h>
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/instance.h"
+#include "gossip/timetable.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "graph/properties.h"
+#include "support/contracts.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Instance, FromNetworkUsesTheRadius) {
+  const auto g = graph::grid(3, 7);
+  const auto instance = Instance::from_network(g);
+  EXPECT_EQ(instance.radius(), graph::compute_metrics(g).radius);
+  EXPECT_EQ(instance.vertex_count(), g.vertex_count());
+}
+
+TEST(Instance, InitialMapsVerticesToTheirLabels) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto init = instance.initial();
+  ASSERT_EQ(init.size(), 16u);
+  for (graph::Vertex v = 0; v < 16; ++v) {
+    EXPECT_EQ(init[v], instance.labels().label(v));
+    EXPECT_EQ(instance.labels().vertex_of(init[v]), v);
+  }
+}
+
+TEST(Instance, MoveKeepsLabelTreeConsistent) {
+  Instance a = Instance::from_network(graph::cycle(9));
+  const auto root = a.tree().root();
+  Instance b = std::move(a);
+  // The labeling must still reference the (moved) tree correctly.
+  EXPECT_EQ(b.tree().root(), root);
+  EXPECT_EQ(b.labels().label(root), 0u);
+  EXPECT_EQ(b.labels().subtree_end(root), 8u);
+}
+
+TEST(Instance, WrapsArbitraryTrees) {
+  const Instance chain(tree::root_tree_graph(graph::path(6), 0));
+  EXPECT_EQ(chain.radius(), 5u);  // height of the chain, not the radius
+  EXPECT_EQ(chain.tree().root(), 0u);
+}
+
+TEST(Timetable, RowsHaveUniformHorizon) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = concurrent_updown(instance);
+  for (graph::Vertex v : {0u, 3u, 8u, 15u}) {
+    const auto table = vertex_timetable(instance, schedule, v);
+    const std::size_t horizon = schedule.total_time() + 1;
+    EXPECT_EQ(table.receive_from_parent.size(), horizon);
+    EXPECT_EQ(table.receive_from_child.size(), horizon);
+    EXPECT_EQ(table.send_to_parent.size(), horizon);
+    EXPECT_EQ(table.send_to_children.size(), horizon);
+    EXPECT_EQ(table.vertex, v);
+  }
+}
+
+TEST(Timetable, LeafHasNoChildTraffic) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = concurrent_updown(instance);
+  const auto table = vertex_timetable(instance, schedule, 3);  // a leaf
+  for (const auto& cell : table.receive_from_child) {
+    EXPECT_FALSE(cell.has_value());
+  }
+  for (const auto& cell : table.send_to_children) {
+    EXPECT_FALSE(cell.has_value());
+  }
+}
+
+TEST(Timetable, ReceiveCountsMatchGossipRequirement) {
+  const auto instance = Instance::from_network(graph::grid(3, 4));
+  const auto schedule = concurrent_updown(instance);
+  for (graph::Vertex v = 0; v < 12; ++v) {
+    const auto table = vertex_timetable(instance, schedule, v);
+    std::size_t receipts = 0;
+    for (const auto& cell : table.receive_from_parent) {
+      receipts += cell.has_value() ? 1u : 0u;
+    }
+    for (const auto& cell : table.receive_from_child) {
+      receipts += cell.has_value() ? 1u : 0u;
+    }
+    EXPECT_EQ(receipts, 11u) << "vertex " << v;  // n - 1 distinct messages
+  }
+}
+
+TEST(Timetable, RenderSkipsEmptyRows) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = concurrent_updown(instance);
+  const auto root_text =
+      render_timetable(vertex_timetable(instance, schedule, 0));
+  EXPECT_EQ(root_text.find("Receive from Parent"), std::string::npos);
+  EXPECT_NE(root_text.find("Send to Children"), std::string::npos);
+}
+
+TEST(Timetable, OutOfRangeVertexRejected) {
+  const auto instance = Instance::from_network(graph::path(4));
+  const auto schedule = concurrent_updown(instance);
+  EXPECT_THROW((void)vertex_timetable(instance, schedule, 9),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,113 @@
+// Tests for the interconnection-network generators: sizes, regularity,
+// connectivity and known metric values, plus end-to-end gossip on each.
+#include <gtest/gtest.h>
+
+#include "gossip/solve.h"
+#include "graph/interconnect.h"
+#include "graph/properties.h"
+#include "support/contracts.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Interconnect, DeBruijnShape) {
+  const Graph g = de_bruijn(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  EXPECT_LE(stats.max, 4u);  // in+out degree 2+2, minus loops/doubles
+  // Diameter of B(2, d) is d.
+  EXPECT_EQ(compute_metrics(g).diameter, 4u);
+}
+
+TEST(Interconnect, DeBruijnSelfLoopsExcluded) {
+  const Graph g = de_bruijn(3);
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    for (Vertex u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(Interconnect, KautzShape) {
+  const Graph g = kautz(3);
+  EXPECT_EQ(g.vertex_count(), 12u);  // 3 * 2^(3-1)
+  EXPECT_TRUE(is_connected(g));
+  // Diameter of K(2, d) is d.
+  EXPECT_EQ(compute_metrics(g).diameter, 3u);
+}
+
+TEST(Interconnect, ShuffleExchangeShape) {
+  const Graph g = shuffle_exchange(4);
+  EXPECT_EQ(g.vertex_count(), 16u);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  EXPECT_LE(stats.max, 3u);  // shuffle in/out + exchange
+}
+
+TEST(Interconnect, CubeConnectedCyclesShape) {
+  const Graph g = cube_connected_cycles(3);
+  EXPECT_EQ(g.vertex_count(), 24u);  // 3 * 2^3
+  EXPECT_TRUE(is_connected(g));
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 3u);  // CCC is 3-regular
+  }
+}
+
+TEST(Interconnect, WrappedButterflyShape) {
+  const Graph g = wrapped_butterfly(3);
+  EXPECT_EQ(g.vertex_count(), 24u);
+  EXPECT_TRUE(is_connected(g));
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.degree(v), 4u);  // wrapped butterfly is 4-regular
+  }
+}
+
+TEST(Interconnect, CirculantShape) {
+  const std::vector<Vertex> offsets{1, 3};
+  const Graph g = circulant(12, offsets);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  for (Vertex v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(0, 9));  // wrap-around
+  // Vertex-transitive: radius == diameter.
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, m.diameter);
+}
+
+TEST(Interconnect, CirculantWithHalfOffset) {
+  const std::vector<Vertex> offsets{1, 4};
+  const Graph g = circulant(8, offsets);  // offset n/2: antipodal matching
+  EXPECT_EQ(g.degree(0), 3u);             // 1, 7, 4
+}
+
+TEST(Interconnect, CirculantOffsetValidation) {
+  const std::vector<Vertex> bad{5};
+  EXPECT_THROW((void)circulant(8, bad), ContractViolation);
+  const std::vector<Vertex> zero{0};
+  EXPECT_THROW((void)circulant(8, zero), ContractViolation);
+}
+
+TEST(Interconnect, ChordalRingShape) {
+  const Graph g = chordal_ring(12, 5);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 5));
+  EXPECT_FALSE(g.has_edge(1, 6));  // chords only at even vertices
+  EXPECT_THROW((void)chordal_ring(12, 4), ContractViolation);  // even chord
+  EXPECT_THROW((void)chordal_ring(7, 3), ContractViolation);   // odd n
+}
+
+TEST(Interconnect, GossipRunsOnEveryTopology) {
+  const std::vector<Graph> graphs = {
+      de_bruijn(4),  kautz(3),   shuffle_exchange(4), cube_connected_cycles(3),
+      wrapped_butterfly(3), chordal_ring(16, 5),
+  };
+  for (const auto& g : graphs) {
+    const auto sol = gossip::solve_gossip(g);
+    ASSERT_TRUE(sol.report.ok) << sol.report.error;
+    EXPECT_EQ(sol.schedule.total_time(),
+              g.vertex_count() + sol.instance.radius());
+  }
+}
+
+}  // namespace
+}  // namespace mg::graph

@@ -1,0 +1,130 @@
+// Tests for the §3.2 DFS labeling: preorder labels, subtree intervals,
+// lip-counts and owner lookup.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+#include "tree/labeling.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::tree {
+namespace {
+
+RootedTree fig5() {
+  return min_depth_spanning_tree(graph::fig4_network());
+}
+
+TEST(Labeling, RootGetsLabelZeroAndFullInterval) {
+  const auto t = fig5();
+  const DfsLabeling labels(t);
+  EXPECT_EQ(labels.label(t.root()), 0u);
+  EXPECT_EQ(labels.subtree_end(t.root()), 15u);
+  EXPECT_EQ(labels.subtree_size(t.root()), 16u);
+}
+
+TEST(Labeling, LabelsArePermutation) {
+  Rng rng(3);
+  const auto g = graph::random_tree(40, rng);
+  const auto t = root_tree_graph(g, 0);
+  const DfsLabeling labels(t);
+  std::vector<char> seen(40, 0);
+  for (graph::Vertex v = 0; v < 40; ++v) {
+    const auto l = labels.label(v);
+    ASSERT_LT(l, 40u);
+    EXPECT_FALSE(seen[l]);
+    seen[l] = 1;
+    EXPECT_EQ(labels.vertex_of(l), v);
+  }
+}
+
+TEST(Labeling, SubtreeIntervalsAreContiguousAndNested) {
+  Rng rng(8);
+  const auto g = graph::random_tree(60, rng);
+  const auto t = root_tree_graph(g, 0);
+  const DfsLabeling labels(t);
+  for (graph::Vertex v = 0; v < 60; ++v) {
+    const auto i = labels.label(v);
+    const auto j = labels.subtree_end(v);
+    EXPECT_LE(i, j);
+    // Children partition (i, j].
+    Label next = i + 1;
+    for (graph::Vertex c : t.children(v)) {
+      EXPECT_EQ(labels.label(c), next);
+      next = labels.subtree_end(c) + 1;
+    }
+    EXPECT_EQ(next, j + 1);
+  }
+}
+
+TEST(Labeling, LabelAtLeastLevel) {
+  // Used implicitly by every time formula: i >= k.
+  Rng rng(12);
+  const auto g = graph::random_tree(50, rng);
+  const auto t = root_tree_graph(g, 0);
+  const DfsLabeling labels(t);
+  for (graph::Vertex v = 0; v < 50; ++v) {
+    EXPECT_GE(labels.label(v), t.level(v));
+  }
+}
+
+TEST(Labeling, LipCountMarksFirstChildren) {
+  const auto t = fig5();
+  const DfsLabeling labels(t);
+  EXPECT_EQ(labels.lip_count(0), 0u);   // root
+  EXPECT_EQ(labels.lip_count(1), 1u);   // first child of root
+  EXPECT_EQ(labels.lip_count(4), 0u);   // second child of root
+  EXPECT_EQ(labels.lip_count(5), 1u);   // first child of 4
+  EXPECT_EQ(labels.lip_count(8), 0u);   // second child of 4
+  EXPECT_EQ(labels.lip_count(12), 1u);  // first child of 11
+}
+
+TEST(Labeling, ExactlyOneLipPerNonLeafVertex) {
+  Rng rng(77);
+  const auto g = graph::random_tree(45, rng);
+  const auto t = root_tree_graph(g, 0);
+  const DfsLabeling labels(t);
+  for (graph::Vertex v = 0; v < 45; ++v) {
+    std::size_t lips = 0;
+    for (graph::Vertex c : t.children(v)) lips += labels.lip_count(c);
+    EXPECT_EQ(lips, t.is_leaf(v) ? 0u : 1u);
+  }
+}
+
+TEST(Labeling, IsBodyMatchesInterval) {
+  const auto t = fig5();
+  const DfsLabeling labels(t);
+  EXPECT_TRUE(labels.is_body(4, 4));
+  EXPECT_TRUE(labels.is_body(4, 10));
+  EXPECT_FALSE(labels.is_body(4, 3));
+  EXPECT_FALSE(labels.is_body(4, 11));
+}
+
+TEST(Labeling, ChildOwningFindsTheRightSubtree) {
+  const auto t = fig5();
+  const DfsLabeling labels(t);
+  EXPECT_EQ(labels.child_owning(0, 7), 4u);
+  EXPECT_EQ(labels.child_owning(0, 13), 11u);
+  EXPECT_EQ(labels.child_owning(4, 9), 8u);
+  EXPECT_EQ(labels.child_owning(4, 5), 5u);
+}
+
+TEST(Labeling, ChildOwningRejectsOwnAndOther) {
+  const auto t = fig5();
+  const DfsLabeling labels(t);
+  EXPECT_THROW((void)labels.child_owning(4, 4), ContractViolation);
+  EXPECT_THROW((void)labels.child_owning(4, 12), ContractViolation);
+}
+
+TEST(Labeling, PathTreeLabelsFollowTheChain) {
+  const auto t = root_tree_graph(graph::path(6), 0);
+  const DfsLabeling labels(t);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(labels.label(v), v);
+    EXPECT_EQ(labels.subtree_end(v), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace mg::tree

@@ -1,0 +1,102 @@
+// Tests pinning down the paper's example networks: N1 (Fig. 1), the
+// Petersen graph (Fig. 2), the N3-class witness (Fig. 3), and the Fig. 4 /
+// Fig. 5 running example reconstructed from Tables 1-4.
+#include <gtest/gtest.h>
+
+#include "graph/named.h"
+#include "graph/properties.h"
+#include "tree/labeling.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Named, N1IsACycle) {
+  const Graph g = n1_cycle(8);
+  EXPECT_EQ(g.vertex_count(), 8u);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Named, PetersenIsThreeRegularRadiusTwo) {
+  const Graph g = petersen();
+  EXPECT_EQ(g.vertex_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3u);
+  const auto m = compute_metrics(g);
+  EXPECT_EQ(m.radius, 2u);
+  EXPECT_EQ(m.diameter, 2u);
+}
+
+TEST(Named, PetersenHasGirthFive) {
+  // No triangles and no 4-cycles: any two adjacent vertices share no
+  // common neighbor, any two non-adjacent share exactly one.
+  const Graph g = petersen();
+  for (Vertex u = 0; u < 10; ++u) {
+    for (Vertex v = u + 1; v < 10; ++v) {
+      int common = 0;
+      for (Vertex w : g.neighbors(u)) {
+        if (g.has_edge(v, w)) ++common;
+      }
+      EXPECT_EQ(common, g.has_edge(u, v) ? 0 : 1) << u << "," << v;
+    }
+  }
+}
+
+TEST(Named, N3WitnessIsK23) {
+  const Graph g = n3_witness();
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Named, Fig5TreeIsATreeOnSixteen) {
+  const Graph t = fig5_tree();
+  EXPECT_EQ(t.vertex_count(), 16u);
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Named, Fig4HasRadiusThreeCenteredAtZero) {
+  const auto m = compute_metrics(fig4_network());
+  EXPECT_EQ(m.radius, 3u);
+  EXPECT_EQ(m.center, 0u);
+}
+
+TEST(Named, Fig4MinDepthTreeIsFig5) {
+  // §3.1 applied to Fig. 4 must reproduce Fig. 5 exactly.
+  const auto tree = tree::min_depth_spanning_tree(fig4_network());
+  EXPECT_EQ(tree.root(), 0u);
+  EXPECT_EQ(tree.height(), 3u);
+  EXPECT_EQ(tree.as_graph(), fig5_tree());
+}
+
+TEST(Named, Fig5DfsLabelsAreVertexIds) {
+  // The reconstruction numbers processors so DFS labels coincide with ids.
+  const auto tree = tree::min_depth_spanning_tree(fig4_network());
+  const tree::DfsLabeling labels(tree);
+  for (Vertex v = 0; v < 16; ++v) EXPECT_EQ(labels.label(v), v);
+}
+
+TEST(Named, Fig5SubtreeIntervalsMatchPaper) {
+  // From the prose and Tables 2-4: subtree(1) = [1,3], subtree(4) = [4,10],
+  // subtree(8) = [8,10]; the third root subtree is [11,15].
+  const auto tree = tree::min_depth_spanning_tree(fig4_network());
+  const tree::DfsLabeling labels(tree);
+  EXPECT_EQ(labels.subtree_end(1), 3u);
+  EXPECT_EQ(labels.subtree_end(4), 10u);
+  EXPECT_EQ(labels.subtree_end(8), 10u);
+  EXPECT_EQ(labels.subtree_end(11), 15u);
+  EXPECT_EQ(tree.level(1), 1u);
+  EXPECT_EQ(tree.level(4), 1u);
+  EXPECT_EQ(tree.level(8), 2u);
+}
+
+TEST(Named, Fig4CrossEdgesAreWithinBfsLevels) {
+  const Graph g = fig4_network();
+  const auto dist = bfs_distances(g, 0);
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LE(dist[u] > dist[v] ? dist[u] - dist[v] : dist[v] - dist[u], 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mg::graph

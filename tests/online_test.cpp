@@ -1,0 +1,105 @@
+// Tests for the §4 online adaptation: the distributed protocol running on
+// purely local information must reproduce the offline ConcurrentUpDown
+// schedule exactly.
+#include <gtest/gtest.h>
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/online.h"
+#include "support/rng.h"
+#include "test_util.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Online, LocalInfoExtraction) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto info = local_info_for(instance, 4);
+  EXPECT_EQ(info.n, 16u);
+  EXPECT_EQ(info.self, 4u);
+  EXPECT_EQ(info.i, 4u);
+  EXPECT_EQ(info.j, 10u);
+  EXPECT_EQ(info.k, 1u);
+  EXPECT_TRUE(info.has_parent);
+  EXPECT_FALSE(info.first_child);
+  EXPECT_EQ(info.parent, 0u);
+  EXPECT_EQ(info.children, (std::vector<graph::Vertex>{5, 8}));
+  ASSERT_EQ(info.child_intervals.size(), 2u);
+  EXPECT_EQ(info.child_intervals[0], std::make_pair(5u, 7u));
+  EXPECT_EQ(info.child_intervals[1], std::make_pair(8u, 10u));
+}
+
+TEST(Online, FirstChildBit) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  EXPECT_TRUE(local_info_for(instance, 1).first_child);
+  EXPECT_TRUE(local_info_for(instance, 5).first_child);
+  EXPECT_FALSE(local_info_for(instance, 8).first_child);
+  EXPECT_FALSE(local_info_for(instance, 0).has_parent);
+}
+
+TEST(Online, MatchesOfflineOnFig4) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto offline = concurrent_updown(instance);
+  const auto online = run_online(instance);
+  EXPECT_TRUE(model::equivalent(offline, online))
+      << "offline:\n" << offline.to_string()
+      << "online:\n" << online.to_string();
+}
+
+TEST(Online, MatchesOfflineAcrossFamilies) {
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {3u, 6u, 10u}) {
+      const auto instance = Instance::from_network(family.make(knob));
+      EXPECT_TRUE(model::equivalent(concurrent_updown(instance),
+                                    run_online(instance)))
+          << family.name << " knob=" << knob;
+    }
+  }
+}
+
+TEST(Online, MatchesOfflineOnRandomTrees) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const auto n = static_cast<graph::Vertex>(2 + rng.below(40));
+    const auto instance =
+        Instance(tree::root_tree_graph(graph::random_tree(n, rng), 0));
+    EXPECT_TRUE(model::equivalent(concurrent_updown(instance),
+                                  run_online(instance)))
+        << "seed=" << seed << " n=" << n;
+  }
+}
+
+TEST(Online, ScheduleIsValidOnItsOwn) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = run_online(instance);
+  test::expect_valid_gossip(instance, schedule);
+}
+
+TEST(Online, ProcessorSendsNothingWithoutPlan) {
+  const auto instance = Instance::from_network(graph::path(5));
+  OnlineProcessor proc(local_info_for(instance, instance.tree().root()));
+  // The root never sends at time 0 (no lip, D3 message 0 waits).
+  EXPECT_FALSE(proc.send_at(0).has_value());
+}
+
+TEST(Online, DeliverTriggersRelay) {
+  // A middle vertex relays an o-message from its parent the round it
+  // arrives (outside the delay window).
+  const auto instance = Instance::from_network(graph::path(7));
+  const auto& tree = instance.tree();
+  graph::Vertex middle = graph::kNoVertex;
+  for (graph::Vertex v = 0; v < 7; ++v) {
+    if (!tree.is_root(v) && !tree.is_leaf(v)) middle = v;
+  }
+  ASSERT_NE(middle, graph::kNoVertex);
+  OnlineProcessor proc(local_info_for(instance, middle));
+  const auto& info = proc.info();
+  const std::size_t safe_time = info.n + info.k;  // last (D1) arrival slot
+  proc.deliver(safe_time, 0, /*from_parent=*/true);
+  const auto tx = proc.send_at(safe_time);
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(tx->message, 0u);
+}
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,142 @@
+// Literal reproduction of the paper's Tables 1-4: the per-vertex schedules
+// of the vertices holding messages 0, 1, 4 and 8 in the Fig. 5 tree under
+// ConcurrentUpDown.  Blank cells are std::nullopt.
+#include <gtest/gtest.h>
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/timetable.h"
+#include "graph/named.h"
+
+namespace mg::gossip {
+namespace {
+
+using Row = std::vector<std::optional<model::Message>>;
+
+constexpr auto kBlank = std::nullopt;
+
+Row row(std::initializer_list<std::optional<model::Message>> cells,
+        std::size_t horizon = 20) {
+  Row r(cells);
+  r.resize(horizon, kBlank);
+  return r;
+}
+
+struct PaperTables : ::testing::Test {
+  Instance instance = Instance::from_network(graph::fig4_network());
+  model::Schedule schedule = concurrent_updown(instance);
+};
+
+TEST_F(PaperTables, TableOneRootVertex) {
+  // Table 1: the vertex with message 0.  Receives 1..15 from children at
+  // times 1..15; sends 1..15 to children at 1..15 and 0 at 16.
+  const auto t = vertex_timetable(instance, schedule, 0);
+  Row expect_recv = row({kBlank});
+  Row expect_send = row({kBlank});
+  for (model::Message m = 1; m <= 15; ++m) {
+    expect_recv[m] = m;
+    expect_send[m] = m;
+  }
+  expect_send[16] = 0;
+  EXPECT_EQ(t.receive_from_child, expect_recv);
+  EXPECT_EQ(t.send_to_children, expect_send);
+  // The root has no parent rows.
+  EXPECT_EQ(t.receive_from_parent, row({}));
+  EXPECT_EQ(t.send_to_parent, row({}));
+}
+
+TEST_F(PaperTables, TableTwoVertexOne) {
+  // Table 2: the vertex with message 1 (i=1, j=3, k=1).
+  const auto t = vertex_timetable(instance, schedule, 1);
+  // Receive from parent: 4..15 at times 5..16, 0 at 17.
+  Row expect_rp = row({});
+  for (model::Message m = 4; m <= 15; ++m) expect_rp[m + 1] = m;
+  expect_rp[17] = 0;
+  EXPECT_EQ(t.receive_from_parent, expect_rp);
+  // Receive from child: 2 at 1, 3 at 2.
+  EXPECT_EQ(t.receive_from_child, row({kBlank, 2, 3}));
+  // Send to parent: 1 at 0, 2 at 1, 3 at 2.
+  EXPECT_EQ(t.send_to_parent, row({1, 2, 3}));
+  // Send to children: 2 at 1, 3 at 2, 1 at 3 (i == k delay), then 4..15 at
+  // 5..16 and 0 at 17.
+  Row expect_sc = row({kBlank, 2, 3, 1});
+  for (model::Message m = 4; m <= 15; ++m) expect_sc[m + 1] = m;
+  expect_sc[17] = 0;
+  EXPECT_EQ(t.send_to_children, expect_sc);
+}
+
+TEST_F(PaperTables, TableThreeVertexFour) {
+  // Table 3: the vertex with message 4 (i=4, j=10, k=1); o-messages 2 and 3
+  // are the delayed ones (received at i-k=3 and i-k+1=4, sent at j-k+1=10
+  // and j-k+2=11).
+  const auto t = vertex_timetable(instance, schedule, 4);
+  // Receive from parent: 1,2,3 at 2,3,4; 11..15 at 12..16; 0 at 17.
+  Row expect_rp = row({kBlank, kBlank, 1, 2, 3});
+  for (model::Message m = 11; m <= 15; ++m) expect_rp[m + 1] = m;
+  expect_rp[17] = 0;
+  EXPECT_EQ(t.receive_from_parent, expect_rp);
+  // Receive from child: 5 at 1 (lookahead), 6..10 at 5..9.
+  Row expect_rc = row({kBlank, 5});
+  for (model::Message m = 6; m <= 10; ++m) {
+    expect_rc[m - 1] = m;  // i - k + 2 = 5 for m = 6
+  }
+  EXPECT_EQ(t.receive_from_child, expect_rc);
+  // Send to parent: 4..10 at 3..9.
+  Row expect_sp = row({});
+  for (model::Message m = 4; m <= 10; ++m) expect_sp[m - 1] = m;
+  EXPECT_EQ(t.send_to_parent, expect_sp);
+  // Send to children: 1 at 2; 4..10 at 3..9; 2,3 at 10,11; 11..15 at
+  // 12..16; 0 at 17.
+  Row expect_sc = row({kBlank, kBlank, 1});
+  for (model::Message m = 4; m <= 10; ++m) expect_sc[m - 1] = m;
+  expect_sc[10] = 2;
+  expect_sc[11] = 3;
+  for (model::Message m = 11; m <= 15; ++m) expect_sc[m + 1] = m;
+  expect_sc[17] = 0;
+  EXPECT_EQ(t.send_to_children, expect_sc);
+}
+
+TEST_F(PaperTables, TableFourVertexEight) {
+  // Table 4: the vertex with message 8 (i=8, j=10, k=2); o-messages 6 and 7
+  // are the delayed ones ("it is more complex since messages 6 and 7 are
+  // the ones delayed at the node").
+  const auto t = vertex_timetable(instance, schedule, 8);
+  // Receive from parent: 1 at 3; 4,5,6,7 at 4..7; 2,3 at 11,12; 11..15 at
+  // 13..17; 0 at 18.
+  Row expect_rp = row({kBlank, kBlank, kBlank, 1, 4, 5, 6, 7});
+  expect_rp[11] = 2;
+  expect_rp[12] = 3;
+  for (model::Message m = 11; m <= 15; ++m) expect_rp[m + 2] = m;
+  expect_rp[18] = 0;
+  EXPECT_EQ(t.receive_from_parent, expect_rp);
+  // Receive from child: 9 at 1 (lookahead), 10 at 8 (= i - k + 2).
+  Row expect_rc = row({kBlank, 9});
+  expect_rc[8] = 10;
+  EXPECT_EQ(t.receive_from_child, expect_rc);
+  // Send to parent: 8,9,10 at 6,7,8.
+  Row expect_sp = row({});
+  for (model::Message m = 8; m <= 10; ++m) expect_sp[m - 2] = m;
+  EXPECT_EQ(t.send_to_parent, expect_sp);
+  // Send to children: 1 at 3; 4,5 at 4,5; 8,9,10 at 6,7,8; 6,7 at 9,10
+  // (delayed); 2,3 at 11,12; 11..15 at 13..17; 0 at 18.
+  Row expect_sc = row({kBlank, kBlank, kBlank, 1, 4, 5, 8, 9, 10, 6, 7});
+  expect_sc[11] = 2;
+  expect_sc[12] = 3;
+  for (model::Message m = 11; m <= 15; ++m) expect_sc[m + 2] = m;
+  expect_sc[18] = 0;
+  EXPECT_EQ(t.send_to_children, expect_sc);
+}
+
+TEST_F(PaperTables, RenderedTablesContainHeaders) {
+  const auto t = vertex_timetable(instance, schedule, 4);
+  const std::string text = render_timetable(t);
+  EXPECT_NE(text.find("Time"), std::string::npos);
+  EXPECT_NE(text.find("Receive from Parent"), std::string::npos);
+  EXPECT_NE(text.find("Send to Children"), std::string::npos);
+}
+
+TEST_F(PaperTables, TotalTimeIsNPlusR) {
+  EXPECT_EQ(schedule.total_time(), 19u);
+}
+
+}  // namespace
+}  // namespace mg::gossip

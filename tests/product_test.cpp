@@ -1,0 +1,71 @@
+// Tests for the Cartesian product: the generator identities (grid, torus,
+// hypercube) and metric additivity.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/product.h"
+#include "graph/properties.h"
+
+namespace mg::graph {
+namespace {
+
+TEST(Product, GridIsPathTimesPath) {
+  // grid(r, c) ids are row*cols+col; product(path(r), path(c)) ids are
+  // g*|H|+h with H = path(c) -- identical layout.
+  EXPECT_EQ(cartesian_product(path(3), path(4)), grid(3, 4));
+}
+
+TEST(Product, TorusIsCycleTimesCycle) {
+  EXPECT_EQ(cartesian_product(cycle(4), cycle(5)), torus(4, 5));
+}
+
+TEST(Product, HypercubeIsIteratedK2) {
+  Graph q = complete(2);
+  for (int d = 1; d < 4; ++d) q = cartesian_product(q, complete(2));
+  const Graph expected = hypercube(4);
+  // Same order/size/degree sequence and metrics (ids are permuted).
+  EXPECT_EQ(q.vertex_count(), expected.vertex_count());
+  EXPECT_EQ(q.edge_count(), expected.edge_count());
+  const auto qm = compute_metrics(q);
+  const auto em = compute_metrics(expected);
+  EXPECT_EQ(qm.radius, em.radius);
+  EXPECT_EQ(qm.diameter, em.diameter);
+}
+
+TEST(Product, MetricAdditivity) {
+  // ecc_{GxH}((g,h)) = ecc_G(g) + ecc_H(h); radius/diameter add.
+  const Graph g = path(5);
+  const Graph h = cycle(6);
+  const auto gm = compute_metrics(g);
+  const auto hm = compute_metrics(h);
+  const auto pm = compute_metrics(cartesian_product(g, h));
+  EXPECT_EQ(pm.radius, gm.radius + hm.radius);
+  EXPECT_EQ(pm.diameter, gm.diameter + hm.diameter);
+  for (Vertex gv = 0; gv < 5; ++gv) {
+    for (Vertex hv = 0; hv < 6; ++hv) {
+      EXPECT_EQ(pm.eccentricity[product_vertex(gv, hv, 6)],
+                gm.eccentricity[gv] + hm.eccentricity[hv]);
+    }
+  }
+}
+
+TEST(Product, EdgeCountFormula) {
+  // |E(GxH)| = |V(G)|*|E(H)| + |V(H)|*|E(G)|.
+  const Graph g = star(4);
+  const Graph h = cycle(5);
+  const auto product = cartesian_product(g, h);
+  EXPECT_EQ(product.edge_count(),
+            4u * h.edge_count() + 5u * g.edge_count());
+}
+
+TEST(Product, WithSingleton) {
+  // G x K1 == G.
+  EXPECT_EQ(cartesian_product(path(6), Graph(1)), path(6));
+}
+
+TEST(Product, ConnectivityPreserved) {
+  EXPECT_TRUE(is_connected(cartesian_product(path(3), star(4))));
+}
+
+}  // namespace
+}  // namespace mg::graph

@@ -1,0 +1,101 @@
+// Parameterized property sweeps: every algorithm x every family x a size
+// range.  The invariants checked are the paper's headline claims:
+//   * feasibility under the communication model (independent validator);
+//   * completion (every processor ends with all n messages);
+//   * the exact closed forms: n + r for ConcurrentUpDown, 2n + r - 3 for
+//     Simple; UpDown and Telephone bracketed by them;
+//   * the 1.5-approximation guarantee.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gossip/bounds.h"
+#include "gossip/simple.h"
+#include "gossip/solve.h"
+#include "test_util.h"
+
+namespace mg::gossip {
+namespace {
+
+struct SweepParam {
+  std::string family;
+  graph::Vertex knob;
+  Algorithm algorithm;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return info.param.family + "_" + std::to_string(info.param.knob) + "_" +
+         algorithm_name(info.param.algorithm);
+}
+
+class GossipSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GossipSweep, FeasibleCompleteAndWithinBounds) {
+  const auto& param = GetParam();
+  const test::Family* family = nullptr;
+  for (const auto& f : test::families()) {
+    if (f.name == param.family) family = &f;
+  }
+  ASSERT_NE(family, nullptr);
+  const auto g = family->make(param.knob);
+  const auto n = g.vertex_count();
+
+  const auto sol = solve_gossip(g, param.algorithm);
+  ASSERT_TRUE(sol.report.ok) << sol.report.error;
+
+  const std::size_t r = sol.instance.radius();
+  const std::size_t time = sol.schedule.total_time();
+  EXPECT_GE(time, trivial_lower_bound(n));
+
+  switch (param.algorithm) {
+    case Algorithm::kConcurrentUpDown:
+      EXPECT_EQ(time, concurrent_updown_time(n, r));
+      EXPECT_LE(static_cast<double>(time),
+                1.5 * static_cast<double>(trivial_lower_bound(n)) + 2.0);
+      break;
+    case Algorithm::kSimple:
+      EXPECT_EQ(time, simple_total_time(n, r));
+      break;
+    case Algorithm::kUpDown:
+      EXPECT_GE(time, concurrent_updown_time(n, r) > 0
+                          ? concurrent_updown_time(n, r) - 1
+                          : 0);
+      EXPECT_LE(time, simple_total_time(n, r));
+      break;
+    case Algorithm::kTelephone:
+      EXPECT_TRUE(sol.schedule.is_telephone());
+      EXPECT_GE(time, concurrent_updown_time(n, r) > 0
+                          ? concurrent_updown_time(n, r) - 1
+                          : 0);
+      break;
+  }
+
+  // Per-node completion never precedes the trivial bound and never exceeds
+  // the schedule's total time.
+  for (const auto completion : sol.report.completion_time) {
+    if (n >= 2) {
+      EXPECT_GE(completion, trivial_lower_bound(n));
+      EXPECT_LE(completion, time);
+    }
+  }
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {3u, 4u, 5u, 8u, 13u}) {
+      for (Algorithm alg :
+           {Algorithm::kSimple, Algorithm::kUpDown,
+            Algorithm::kConcurrentUpDown, Algorithm::kTelephone}) {
+        params.push_back({family.name, knob, alg});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, GossipSweep,
+                         ::testing::ValuesIn(sweep_params()), param_name);
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,92 @@
+// Tests for randomized rumor spreading under the receive-capacity model.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "sim/randomized.h"
+
+namespace mg::sim {
+namespace {
+
+TEST(Randomized, CompletesOnConnectedGraphs) {
+  Rng rng(17);
+  for (const auto& g : {graph::complete(12), graph::cycle(10),
+                        graph::petersen(), graph::grid(4, 4)}) {
+    const auto result = randomized_gossip(g, rng);
+    EXPECT_TRUE(result.completed);
+    EXPECT_GE(result.rounds, g.vertex_count() - 1u);  // trivial bound
+  }
+}
+
+TEST(Randomized, DeterministicPerSeed) {
+  const auto g = graph::grid(4, 4);
+  Rng a(5);
+  Rng b(5);
+  const auto ra = randomized_gossip(g, a);
+  const auto rb = randomized_gossip(g, b);
+  EXPECT_EQ(ra.rounds, rb.rounds);
+  EXPECT_EQ(ra.transmissions, rb.transmissions);
+  EXPECT_EQ(ra.collisions, rb.collisions);
+}
+
+TEST(Randomized, PullAcceleratesSparseGraphs) {
+  // On a star, pure push wastes most rounds (all leaves push into the
+  // hub's single receive slot); pull lets leaves fetch from the hub.
+  const auto g = graph::star(16);
+  std::size_t push_total = 0;
+  std::size_t pull_total = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng r1(seed);
+    Rng r2(seed);
+    RandomizedOptions push_only;
+    RandomizedOptions with_pull;
+    with_pull.pull = true;
+    push_total += randomized_gossip(g, r1, push_only).rounds;
+    pull_total += randomized_gossip(g, r2, with_pull).rounds;
+  }
+  EXPECT_LT(pull_total, push_total);
+}
+
+TEST(Randomized, NewestFirstPolicyStalls) {
+  // The documented pitfall: newest-first offers stop recirculating old
+  // messages and the protocol never finishes.
+  Rng rng(4);
+  RandomizedOptions newest;
+  newest.push_newest = true;
+  newest.round_limit = 20'000;
+  const auto result = randomized_gossip(graph::complete(12), rng, newest);
+  EXPECT_FALSE(result.completed);
+}
+
+TEST(Randomized, CollisionsHappenOnHubs) {
+  Rng rng(3);
+  const auto result = randomized_gossip(graph::star(12), rng);
+  EXPECT_GT(result.collisions, 0u);
+}
+
+TEST(Randomized, RoundLimitRespected) {
+  Rng rng(9);
+  RandomizedOptions options;
+  options.round_limit = 3;
+  const auto result = randomized_gossip(graph::cycle(30), rng, options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(Randomized, SingletonTrivial) {
+  Rng rng(1);
+  const auto result = randomized_gossip(graph::Graph(1), rng);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Randomized, PullOnlyConfigurationCompletes) {
+  Rng rng(77);
+  RandomizedOptions options;
+  options.pull = true;
+  const auto result = randomized_gossip(graph::cycle(12), rng, options);
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace mg::sim

@@ -1,0 +1,101 @@
+// Tests for procedure Simple (Lemma 1): feasibility, completion and the
+// exact 2n + r - 3 total communication time.
+#include <gtest/gtest.h>
+
+#include "gossip/simple.h"
+#include "graph/named.h"
+#include "test_util.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Simple, Fig4ExactTime) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = simple_gossip(instance);
+  test::expect_valid_gossip(instance, schedule);
+  EXPECT_EQ(schedule.total_time(), 2u * 16 + 3 - 3);
+}
+
+TEST(Simple, RootReceivesMessageMAtTimeM) {
+  // "message i >= 1 is received by the root at time i."
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = simple_gossip(instance);
+  const auto root = instance.tree().root();
+  std::vector<std::size_t> arrival(16, 0);
+  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+    for (const auto& tx : schedule.round(t)) {
+      for (graph::Vertex r : tx.receivers) {
+        if (r == root && arrival[tx.message] == 0) {
+          arrival[tx.message] = t + 1;
+        }
+      }
+    }
+  }
+  for (model::Message m = 1; m < 16; ++m) EXPECT_EQ(arrival[m], m) << m;
+}
+
+TEST(Simple, DownPhaseStartsAtNMinusTwo) {
+  // "At time n-2, message 0 is sent from the root to all its children."
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = simple_gossip(instance);
+  const auto root = instance.tree().root();
+  bool found = false;
+  for (const auto& tx : schedule.round(14)) {  // n - 2 == 14
+    if (tx.sender == root && tx.message == 0) {
+      found = true;
+      EXPECT_EQ(tx.receivers.size(), instance.tree().children(root).size());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Simple, LemmaOneTimeAcrossFamilies) {
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {3u, 5u, 9u}) {
+      const auto g = family.make(knob);
+      const auto instance = Instance::from_network(g);
+      const auto schedule = simple_gossip(instance);
+      const auto report = test::expect_valid_gossip(instance, schedule);
+      ASSERT_TRUE(report.ok) << family.name;
+      EXPECT_EQ(schedule.total_time(),
+                simple_total_time(g.vertex_count(), instance.radius()))
+          << family.name << " knob=" << knob;
+    }
+  }
+}
+
+TEST(Simple, TrivialSizes) {
+  EXPECT_EQ(simple_gossip(Instance(tree::RootedTree::from_parents(
+                              0, {graph::kNoVertex})))
+                .total_time(),
+            0u);
+  const auto two = Instance(
+      tree::RootedTree::from_parents(0, {graph::kNoVertex, 0}));
+  const auto schedule = simple_gossip(two);
+  EXPECT_EQ(schedule.total_time(), 2u);  // 2n + r - 3 = 2
+  test::expect_valid_gossip(two, schedule);
+}
+
+TEST(Simple, ClosedFormHelper) {
+  EXPECT_EQ(simple_total_time(1, 0), 0u);
+  EXPECT_EQ(simple_total_time(16, 3), 32u);
+  EXPECT_EQ(simple_total_time(7, 3), 14u);
+}
+
+TEST(Simple, WorksOnDeepChain) {
+  const auto instance =
+      Instance(tree::root_tree_graph(graph::path(31), 0));  // height 30
+  const auto schedule = simple_gossip(instance);
+  test::expect_valid_gossip(instance, schedule);
+  EXPECT_EQ(schedule.total_time(), 2u * 31 + 30 - 3);
+}
+
+TEST(Simple, UnicastUpMulticastDown) {
+  const auto instance = Instance::from_network(graph::star(8));
+  const auto schedule = simple_gossip(instance);
+  EXPECT_EQ(schedule.max_fanout(), 7u);  // root multicasts to all children
+}
+
+}  // namespace
+}  // namespace mg::gossip

@@ -1,0 +1,83 @@
+// Integration tests for the one-call front-end: tree construction +
+// algorithm + validation on arbitrary networks.
+#include <gtest/gtest.h>
+
+#include "gossip/bounds.h"
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "graph/properties.h"
+#include "support/thread_pool.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Solve, DefaultAlgorithmIsConcurrentUpDown) {
+  const auto sol = solve_gossip(graph::petersen());
+  EXPECT_EQ(sol.algorithm, Algorithm::kConcurrentUpDown);
+  ASSERT_TRUE(sol.report.ok) << sol.report.error;
+  EXPECT_EQ(sol.schedule.total_time(), 10u + 2u);  // n + radius(Petersen)
+}
+
+TEST(Solve, AllAlgorithmsProduceValidSchedules) {
+  const auto g = graph::grid(3, 5);
+  for (auto alg : {Algorithm::kSimple, Algorithm::kUpDown,
+                   Algorithm::kConcurrentUpDown, Algorithm::kTelephone}) {
+    const auto sol = solve_gossip(g, alg);
+    EXPECT_TRUE(sol.report.ok)
+        << algorithm_name(alg) << ": " << sol.report.error;
+  }
+}
+
+TEST(Solve, AlgorithmOrderingOnANonTrivialNetwork) {
+  const auto g = graph::fig4_network();
+  const auto concurrent =
+      solve_gossip(g, Algorithm::kConcurrentUpDown).schedule.total_time();
+  const auto updown = solve_gossip(g, Algorithm::kUpDown).schedule.total_time();
+  const auto simple = solve_gossip(g, Algorithm::kSimple).schedule.total_time();
+  const auto phone =
+      solve_gossip(g, Algorithm::kTelephone).schedule.total_time();
+  EXPECT_LE(concurrent, updown);
+  EXPECT_LE(updown, simple);
+  EXPECT_LT(simple, phone);
+}
+
+TEST(Solve, UsesNetworkRadiusNotDiameter) {
+  const auto g = graph::path(13);
+  const auto sol = solve_gossip(g);
+  const auto metrics = graph::compute_metrics(g);
+  EXPECT_EQ(sol.instance.radius(), metrics.radius);
+  EXPECT_EQ(sol.schedule.total_time(), 13u + metrics.radius);
+}
+
+TEST(Solve, ThreadPoolPathProducesSameResult) {
+  ThreadPool pool(4);
+  const auto g = graph::grid(6, 7);
+  const auto seq = solve_gossip(g);
+  const auto par = solve_gossip(g, Algorithm::kConcurrentUpDown, &pool);
+  EXPECT_TRUE(model::equivalent(seq.schedule, par.schedule));
+}
+
+TEST(Solve, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::kSimple), "Simple");
+  EXPECT_EQ(algorithm_name(Algorithm::kUpDown), "UpDown");
+  EXPECT_EQ(algorithm_name(Algorithm::kConcurrentUpDown), "ConcurrentUpDown");
+  EXPECT_EQ(algorithm_name(Algorithm::kTelephone), "Telephone");
+}
+
+TEST(Solve, InitialMapsLabelsToVertices) {
+  const auto sol = solve_gossip(graph::cycle(6));
+  const auto init = sol.instance.initial();
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(init[v], sol.instance.labels().label(v));
+  }
+}
+
+TEST(Solve, TelephoneSolutionPassesStricterValidator) {
+  const auto sol = solve_gossip(graph::star(7), Algorithm::kTelephone);
+  ASSERT_TRUE(sol.report.ok) << sol.report.error;
+  EXPECT_TRUE(sol.schedule.is_telephone());
+}
+
+}  // namespace
+}  // namespace mg::gossip

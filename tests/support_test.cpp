@@ -1,0 +1,228 @@
+// Unit tests for the support kernel: contracts, RNG, bitset, thread pool,
+// table formatting, stopwatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "support/bitset.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+#include "support/table.h"
+#include "support/thread_pool.h"
+
+namespace mg {
+namespace {
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(MG_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(MG_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, MessageCarriesContext) {
+  try {
+    MG_EXPECTS_MSG(false, "extra detail");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("extra detail"), std::string::npos);
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresAndAssertDistinguishKinds) {
+  try {
+    MG_ENSURES(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+  try {
+    MG_ASSERT(false);
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto x = rng.range(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, BelowZeroBoundIsContractViolation) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Bitset, SetTestResetCount) {
+  DynamicBitset bits(130);
+  EXPECT_TRUE(bits.none());
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, AllRequiresEveryBit) {
+  DynamicBitset bits(66);
+  for (std::size_t i = 0; i < 66; ++i) {
+    EXPECT_FALSE(bits.all());
+    bits.set(i);
+  }
+  EXPECT_TRUE(bits.all());
+}
+
+TEST(Bitset, OutOfRangeIsContractViolation) {
+  DynamicBitset bits(8);
+  EXPECT_THROW(bits.set(8), ContractViolation);
+  EXPECT_THROW((void)bits.test(100), ContractViolation);
+}
+
+TEST(Bitset, EqualityComparesContents) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  EXPECT_EQ(a, b);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SequentialReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(10, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.new_row();
+  t.cell(std::string("Time"));
+  t.cell(std::string("x"));
+  t.new_row();
+  t.cell(std::string("a"));
+  t.cell(12345);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Time |"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, CellBeforeRowIsContractViolation) {
+  TextTable t;
+  EXPECT_THROW(t.cell(std::string("x")), ContractViolation);
+}
+
+TEST(TextTable, DoubleCellFormatsPrecision) {
+  TextTable t;
+  t.new_row();
+  t.cell(3.14159, 3);
+  EXPECT_NE(t.render(false).find("3.142"), std::string::npos);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.millis(), 5.0);
+  sw.restart();
+  EXPECT_LT(sw.millis(), 5.0);
+}
+
+}  // namespace
+}  // namespace mg

@@ -1,0 +1,77 @@
+// Shared helpers for the test suite: graph-family factories keyed by name
+// (used by the parameterized sweeps) and schedule-checking shorthands.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gossip/instance.h"
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "model/validator.h"
+#include "support/rng.h"
+
+namespace mg::test {
+
+/// A named family generator for parameterized sweeps: maps a size knob to a
+/// concrete connected graph.  The knob is not always the vertex count
+/// (grids take a side length, hypercubes a dimension).
+struct Family {
+  std::string name;
+  graph::Graph (*make)(graph::Vertex knob);
+};
+
+inline graph::Graph make_random_tree(graph::Vertex knob) {
+  Rng rng(0x5eedULL + knob);
+  return graph::random_tree(knob, rng);
+}
+
+inline graph::Graph make_random_gnp(graph::Vertex knob) {
+  Rng rng(0xabcdULL + knob);
+  return graph::random_connected_gnp(knob, 3.0 / static_cast<double>(knob),
+                                     rng);
+}
+
+inline graph::Graph make_random_geometric(graph::Vertex knob) {
+  Rng rng(0x9e0ULL + knob);
+  return graph::random_geometric(knob, 0.25, rng);
+}
+
+/// The standard family table used by most sweeps.
+inline const std::vector<Family>& families() {
+  static const std::vector<Family> table = {
+      {"path", [](graph::Vertex n) { return graph::path(n); }},
+      {"cycle", [](graph::Vertex n) { return graph::cycle(n); }},
+      {"star", [](graph::Vertex n) { return graph::star(n); }},
+      {"complete", [](graph::Vertex n) { return graph::complete(n); }},
+      {"binary_tree", [](graph::Vertex n) { return graph::k_ary_tree(n, 2); }},
+      {"ternary_tree", [](graph::Vertex n) { return graph::k_ary_tree(n, 3); }},
+      {"grid", [](graph::Vertex n) { return graph::grid(n, n); }},
+      {"torus", [](graph::Vertex n) {
+         return graph::torus(std::max<graph::Vertex>(n, 3),
+                             std::max<graph::Vertex>(n, 3));
+       }},
+      {"caterpillar", [](graph::Vertex n) { return graph::caterpillar(n, 3); }},
+      {"random_tree", make_random_tree},
+      {"random_gnp", make_random_gnp},
+      {"random_geometric", make_random_geometric},
+  };
+  return table;
+}
+
+/// Validates a gossip schedule produced on `instance`'s tree network and
+/// returns the report; fails the current test on violation.
+inline model::ValidationReport expect_valid_gossip(
+    const gossip::Instance& instance, const model::Schedule& schedule,
+    model::ModelVariant variant = model::ModelVariant::kMulticast) {
+  model::ValidatorOptions options;
+  options.variant = variant;
+  auto report = model::validate_schedule(instance.tree().as_graph(), schedule,
+                                         instance.initial(), options);
+  EXPECT_TRUE(report.ok) << report.error;
+  return report;
+}
+
+}  // namespace mg::test

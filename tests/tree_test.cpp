@@ -1,0 +1,142 @@
+// Tests for rooted trees, BFS trees and the §3.1 minimum-depth spanning
+// tree construction.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "graph/properties.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::tree {
+namespace {
+
+TEST(RootedTree, FromParentsBasics) {
+  // 0 -> {1, 2}, 1 -> {3}
+  const auto t = RootedTree::from_parents(
+      0, {graph::kNoVertex, 0, 0, 1});
+  EXPECT_EQ(t.root(), 0u);
+  EXPECT_EQ(t.vertex_count(), 4u);
+  EXPECT_EQ(t.parent(3), 1u);
+  EXPECT_TRUE(t.is_leaf(2));
+  EXPECT_FALSE(t.is_leaf(1));
+  EXPECT_EQ(t.level(0), 0u);
+  EXPECT_EQ(t.level(3), 2u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_EQ(t.children(0), (std::vector<graph::Vertex>{1, 2}));
+}
+
+TEST(RootedTree, SingleVertex) {
+  const auto t = RootedTree::from_parents(0, {graph::kNoVertex});
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_TRUE(t.is_root(0));
+}
+
+TEST(RootedTree, RejectsCycle) {
+  // 1 and 2 parent each other: not reachable from root 0.
+  EXPECT_THROW(RootedTree::from_parents(0, {graph::kNoVertex, 2, 1}),
+               ContractViolation);
+}
+
+TEST(RootedTree, RejectsRootWithParent) {
+  EXPECT_THROW(RootedTree::from_parents(0, {1, 0}), ContractViolation);
+}
+
+TEST(RootedTree, PreorderVisitsParentFirst) {
+  const auto t = RootedTree::from_parents(
+      0, {graph::kNoVertex, 0, 1, 1, 0});
+  const auto order = t.preorder();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 0u);
+  // preorder: 0, 1, 2, 3, 4 with children ordered by id
+  EXPECT_EQ(order, (std::vector<graph::Vertex>{0, 1, 2, 3, 4}));
+}
+
+TEST(RootedTree, AsGraphRoundTrip) {
+  const auto t = RootedTree::from_parents(
+      1, {1, graph::kNoVertex, 1, 2});
+  const auto g = t.as_graph();
+  EXPECT_TRUE(graph::is_tree(g));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(BfsTree, PathFromEnd) {
+  const auto t = bfs_tree(graph::path(5), 0);
+  EXPECT_EQ(t.height(), 4u);
+  for (graph::Vertex v = 1; v < 5; ++v) EXPECT_EQ(t.parent(v), v - 1);
+}
+
+TEST(BfsTree, LevelsMatchBfsDistances) {
+  const auto g = graph::grid(4, 6);
+  const auto t = bfs_tree(g, 3);
+  const auto dist = graph::bfs_distances(g, 3);
+  for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(t.level(v), dist[v]);
+  }
+}
+
+TEST(BfsTree, ParentIsSmallestIdInPreviousLevel) {
+  // In K4 from root 0, all of 1..3 have parent 0; in C4 from 0, vertex 2
+  // has two level-1 neighbors {1, 3} and must pick 1.
+  const auto t = bfs_tree(graph::cycle(4), 0);
+  EXPECT_EQ(t.parent(2), 1u);
+}
+
+TEST(BfsTree, DisconnectedRejected) {
+  EXPECT_THROW(bfs_tree(graph::Graph(3), 0), ContractViolation);
+}
+
+TEST(MinDepthTree, HeightEqualsRadius) {
+  Rng rng(17);
+  const std::vector<graph::Graph> graphs = {
+      graph::path(11),     graph::cycle(10),      graph::grid(5, 7),
+      graph::star(9),      graph::hypercube(4),   graph::petersen(),
+      graph::random_connected_gnp(40, 0.1, rng),
+  };
+  for (const auto& g : graphs) {
+    const auto metrics = graph::compute_metrics(g);
+    const auto t = min_depth_spanning_tree(g);
+    EXPECT_EQ(t.height(), metrics.radius);
+    EXPECT_TRUE(graph::is_tree(t.as_graph()));
+    EXPECT_EQ(t.as_graph().vertex_count(), g.vertex_count());
+  }
+}
+
+TEST(MinDepthTree, OddLineRootsAtCenter) {
+  // §4: the minimum-depth spanning tree of an odd line is rooted at the
+  // center processor with two line subtrees.
+  const auto t = min_depth_spanning_tree(graph::path(9));
+  EXPECT_EQ(t.root(), 4u);
+  EXPECT_EQ(t.height(), 4u);
+  EXPECT_EQ(t.children(4).size(), 2u);
+}
+
+TEST(MinDepthTree, ParallelConstructionIdentical) {
+  ThreadPool pool(4);
+  const auto g = graph::grid(8, 9);
+  const auto seq = min_depth_spanning_tree(g);
+  const auto par = min_depth_spanning_tree(g, &pool);
+  EXPECT_EQ(seq.root(), par.root());
+  EXPECT_EQ(seq.as_graph(), par.as_graph());
+}
+
+TEST(MinDepthTree, TreeInputReturnsItsOwnCenter) {
+  const auto g = graph::k_ary_tree(15, 2);
+  const auto t = min_depth_spanning_tree(g);
+  EXPECT_EQ(t.as_graph(), g);  // spanning tree of a tree is the tree
+}
+
+TEST(RootTreeGraph, RootsAtRequestedVertex) {
+  const auto g = graph::path(5);
+  const auto t = root_tree_graph(g, 2);
+  EXPECT_EQ(t.root(), 2u);
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_THROW(root_tree_graph(graph::cycle(4), 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mg::tree

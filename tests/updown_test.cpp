@@ -1,0 +1,100 @@
+// Tests for the greedy UpDown reconstruction (Gonzalez 2000): validity,
+// completion, and its position between ConcurrentUpDown and Simple.
+#include <gtest/gtest.h>
+
+#include "gossip/concurrent_updown.h"
+#include "gossip/simple.h"
+#include "gossip/updown.h"
+#include "support/rng.h"
+#include "test_util.h"
+#include "tree/spanning_tree.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(UpDown, ValidAndCompleteOnFig4) {
+  const auto instance = Instance::from_network(graph::fig4_network());
+  const auto schedule = updown_gossip(instance);
+  test::expect_valid_gossip(instance, schedule);
+}
+
+TEST(UpDown, ValidAcrossFamilies) {
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {3u, 5u, 9u}) {
+      const auto g = family.make(knob);
+      const auto instance = Instance::from_network(g);
+      const auto schedule = updown_gossip(instance);
+      const auto report = test::expect_valid_gossip(instance, schedule);
+      ASSERT_TRUE(report.ok) << family.name << " knob=" << knob;
+    }
+  }
+}
+
+TEST(UpDown, NeverSlowerThanSimple) {
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {4u, 8u, 12u}) {
+      const auto instance = Instance::from_network(family.make(knob));
+      EXPECT_LE(updown_gossip(instance).total_time(),
+                simple_gossip(instance).total_time())
+          << family.name << " knob=" << knob;
+    }
+  }
+}
+
+TEST(UpDown, WithinOneOfConcurrentUpDownOrBetter) {
+  // ConcurrentUpDown is n + r exactly; the greedy two-phase schedule can
+  // occasionally beat it on very shallow trees (e.g. stars, where n - 1
+  // suffices because nothing ever gets stuck) but never by more than r,
+  // and never drops below the trivial bound.
+  for (const auto& family : test::families()) {
+    const auto instance = Instance::from_network(family.make(8));
+    const auto n = instance.vertex_count();
+    const auto updown = updown_gossip(instance).total_time();
+    const auto concurrent = concurrent_updown(instance).total_time();
+    EXPECT_GE(updown, static_cast<std::size_t>(n - 1)) << family.name;
+    EXPECT_GE(updown + instance.radius(), concurrent) << family.name;
+  }
+}
+
+TEST(UpDown, CloseToTwoPhaseBoundOnLines) {
+  // The paper's two phases take (n - 1 + r) + (2(r-1) + 1) = n + 3r - 2.
+  for (graph::Vertex n : {5u, 9u, 15u, 21u}) {
+    const auto instance = Instance::from_network(graph::path(n));
+    const auto time = updown_gossip(instance).total_time();
+    EXPECT_LE(time, updown_time_bound(n, instance.radius()) + 2)
+        << "n=" << n;
+  }
+}
+
+TEST(UpDown, RandomTreeSweep) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed * 7 + 1);
+    const auto n = static_cast<graph::Vertex>(2 + rng.below(50));
+    const auto g = graph::random_tree(n, rng);
+    const auto instance = Instance::from_network(g);
+    const auto schedule = updown_gossip(instance);
+    const auto report = test::expect_valid_gossip(instance, schedule);
+    ASSERT_TRUE(report.ok) << "seed=" << seed;
+    EXPECT_LE(schedule.total_time(),
+              2 * static_cast<std::size_t>(n) + instance.radius());
+  }
+}
+
+TEST(UpDown, TrivialSizes) {
+  EXPECT_EQ(updown_gossip(Instance(tree::RootedTree::from_parents(
+                              0, {graph::kNoVertex})))
+                .total_time(),
+            0u);
+  const auto two =
+      Instance(tree::RootedTree::from_parents(0, {graph::kNoVertex, 0}));
+  const auto schedule = updown_gossip(two);
+  test::expect_valid_gossip(two, schedule);
+}
+
+TEST(UpDown, BoundHelperClosedForm) {
+  EXPECT_EQ(updown_time_bound(1, 0), 0u);
+  EXPECT_EQ(updown_time_bound(16, 3), 16u + 9 - 2);
+}
+
+}  // namespace
+}  // namespace mg::gossip

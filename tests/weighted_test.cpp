@@ -1,0 +1,93 @@
+// Tests for §4 weighted gossiping via chain splitting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gossip/weighted.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "model/validator.h"
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace mg::gossip {
+namespace {
+
+TEST(Weighted, UnitWeightsReduceToPlainGossip) {
+  const auto g = graph::fig4_network();
+  const auto result = weighted_gossip(g, std::vector<std::uint32_t>(16, 1));
+  EXPECT_EQ(result.total_messages, 16u);
+  EXPECT_EQ(result.virtual_radius, 3u);
+  EXPECT_EQ(result.schedule.total_time(), 19u);  // n + r unchanged
+  EXPECT_EQ(result.max_external_receives, 1u);
+  EXPECT_EQ(result.max_external_sends, 1u);
+}
+
+TEST(Weighted, TotalTimeIsNVirtualPlusRVirtual) {
+  Rng rng(5);
+  const auto g = graph::grid(3, 4);
+  std::vector<std::uint32_t> weights(12);
+  for (auto& w : weights) w = 1 + static_cast<std::uint32_t>(rng.below(4));
+  const auto result = weighted_gossip(g, weights);
+  const auto total =
+      std::accumulate(weights.begin(), weights.end(), std::size_t{0});
+  EXPECT_EQ(result.total_messages, total);
+  EXPECT_EQ(result.schedule.total_time(), total + result.virtual_radius);
+}
+
+TEST(Weighted, VirtualScheduleValidatesOnVirtualTree) {
+  Rng rng(8);
+  const auto g = graph::cycle(7);
+  std::vector<std::uint32_t> weights(7);
+  for (auto& w : weights) w = 1 + static_cast<std::uint32_t>(rng.below(3));
+  const auto result = weighted_gossip(g, weights);
+  const auto report = model::validate_schedule(
+      result.virtual_instance.tree().as_graph(), result.schedule,
+      result.virtual_instance.initial());
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(Weighted, RealOfMapsChainsToOwners) {
+  const auto g = graph::path(3);
+  const auto result = weighted_gossip(g, {2, 3, 1});
+  ASSERT_EQ(result.real_of.size(), 6u);
+  std::vector<std::size_t> counts(3, 0);
+  for (graph::Vertex r : result.real_of) ++counts[r];
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(Weighted, ChainExtendsRadius) {
+  // Splitting the center of a star into a chain of 4 deepens the virtual
+  // tree by the chain length.
+  const auto g = graph::star(5);
+  const auto unit = weighted_gossip(g, {1, 1, 1, 1, 1});
+  const auto heavy = weighted_gossip(g, {4, 1, 1, 1, 1});
+  EXPECT_EQ(unit.virtual_radius, 1u);
+  EXPECT_EQ(heavy.virtual_radius, 1u + 3u);
+  EXPECT_EQ(heavy.total_messages, 8u);
+  EXPECT_EQ(heavy.schedule.total_time(), 8u + 4u);
+}
+
+TEST(Weighted, ExternalLoadIsBounded) {
+  // The chain projection's external traffic per real processor per round
+  // stays at 1 receive; sends can combine one up + one down transmission.
+  Rng rng(11);
+  const auto g = graph::random_connected_gnp(12, 0.3, rng);
+  std::vector<std::uint32_t> weights(12);
+  for (auto& w : weights) w = 1 + static_cast<std::uint32_t>(rng.below(5));
+  const auto result = weighted_gossip(g, weights);
+  EXPECT_LE(result.max_external_receives, 2u);
+  EXPECT_LE(result.max_external_sends, 2u);
+}
+
+TEST(Weighted, RejectsZeroWeight) {
+  EXPECT_THROW((void)weighted_gossip(graph::path(3), {1, 0, 1}),
+               ContractViolation);
+  EXPECT_THROW((void)weighted_gossip(graph::path(3), {1, 1}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mg::gossip
