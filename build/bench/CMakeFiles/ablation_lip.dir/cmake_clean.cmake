@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lip.dir/ablation_lip.cpp.o"
+  "CMakeFiles/ablation_lip.dir/ablation_lip.cpp.o.d"
+  "ablation_lip"
+  "ablation_lip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

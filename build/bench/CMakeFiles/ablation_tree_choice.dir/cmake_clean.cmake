@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_choice.dir/ablation_tree_choice.cpp.o"
+  "CMakeFiles/ablation_tree_choice.dir/ablation_tree_choice.cpp.o.d"
+  "ablation_tree_choice"
+  "ablation_tree_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

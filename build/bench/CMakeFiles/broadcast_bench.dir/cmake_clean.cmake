@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_bench.dir/broadcast_bench.cpp.o"
+  "CMakeFiles/broadcast_bench.dir/broadcast_bench.cpp.o.d"
+  "broadcast_bench"
+  "broadcast_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collectives_bench.dir/collectives_bench.cpp.o"
+  "CMakeFiles/collectives_bench.dir/collectives_bench.cpp.o.d"
+  "collectives_bench"
+  "collectives_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

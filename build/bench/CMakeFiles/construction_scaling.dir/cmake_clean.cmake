@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/construction_scaling.dir/construction_scaling.cpp.o"
+  "CMakeFiles/construction_scaling.dir/construction_scaling.cpp.o.d"
+  "construction_scaling"
+  "construction_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/construction_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanout_sweep.dir/fanout_sweep.cpp.o"
+  "CMakeFiles/fanout_sweep.dir/fanout_sweep.cpp.o.d"
+  "fanout_sweep"
+  "fanout_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanout_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

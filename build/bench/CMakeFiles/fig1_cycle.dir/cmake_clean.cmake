@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cycle.dir/fig1_cycle.cpp.o"
+  "CMakeFiles/fig1_cycle.dir/fig1_cycle.cpp.o.d"
+  "fig1_cycle"
+  "fig1_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_petersen.dir/fig2_petersen.cpp.o"
+  "CMakeFiles/fig2_petersen.dir/fig2_petersen.cpp.o.d"
+  "fig2_petersen"
+  "fig2_petersen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_petersen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

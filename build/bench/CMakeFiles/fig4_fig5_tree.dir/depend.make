@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_fig5_tree.
+# This may be replaced when dependencies are built.

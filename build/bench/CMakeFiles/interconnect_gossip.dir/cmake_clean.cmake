@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_gossip.dir/interconnect_gossip.cpp.o"
+  "CMakeFiles/interconnect_gossip.dir/interconnect_gossip.cpp.o.d"
+  "interconnect_gossip"
+  "interconnect_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

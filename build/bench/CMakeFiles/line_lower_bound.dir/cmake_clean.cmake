@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_lower_bound.dir/line_lower_bound.cpp.o"
+  "CMakeFiles/line_lower_bound.dir/line_lower_bound.cpp.o.d"
+  "line_lower_bound"
+  "line_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmc_bench.dir/mmc_bench.cpp.o"
+  "CMakeFiles/mmc_bench.dir/mmc_bench.cpp.o.d"
+  "mmc_bench"
+  "mmc_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmc_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

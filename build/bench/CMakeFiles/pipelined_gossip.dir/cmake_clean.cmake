@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_gossip.dir/pipelined_gossip.cpp.o"
+  "CMakeFiles/pipelined_gossip.dir/pipelined_gossip.cpp.o.d"
+  "pipelined_gossip"
+  "pipelined_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_vs_scheduled.dir/randomized_vs_scheduled.cpp.o"
+  "CMakeFiles/randomized_vs_scheduled.dir/randomized_vs_scheduled.cpp.o.d"
+  "randomized_vs_scheduled"
+  "randomized_vs_scheduled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_vs_scheduled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounds_vs_bounds.dir/rounds_vs_bounds.cpp.o"
+  "CMakeFiles/rounds_vs_bounds.dir/rounds_vs_bounds.cpp.o.d"
+  "rounds_vs_bounds"
+  "rounds_vs_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounds_vs_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

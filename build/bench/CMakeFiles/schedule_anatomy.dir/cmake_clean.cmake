@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_anatomy.dir/schedule_anatomy.cpp.o"
+  "CMakeFiles/schedule_anatomy.dir/schedule_anatomy.cpp.o.d"
+  "schedule_anatomy"
+  "schedule_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

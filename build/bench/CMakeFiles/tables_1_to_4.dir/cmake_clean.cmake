@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_1_to_4.dir/tables_1_to_4.cpp.o"
+  "CMakeFiles/tables_1_to_4.dir/tables_1_to_4.cpp.o.d"
+  "tables_1_to_4"
+  "tables_1_to_4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_1_to_4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tables_1_to_4.
+# This may be replaced when dependencies are built.

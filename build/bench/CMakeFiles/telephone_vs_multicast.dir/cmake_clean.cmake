@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephone_vs_multicast.dir/telephone_vs_multicast.cpp.o"
+  "CMakeFiles/telephone_vs_multicast.dir/telephone_vs_multicast.cpp.o.d"
+  "telephone_vs_multicast"
+  "telephone_vs_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephone_vs_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_gossip_bench.dir/weighted_gossip_bench.cpp.o"
+  "CMakeFiles/weighted_gossip_bench.dir/weighted_gossip_bench.cpp.o.d"
+  "weighted_gossip_bench"
+  "weighted_gossip_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_gossip_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

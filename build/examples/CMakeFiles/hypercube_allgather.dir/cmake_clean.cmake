@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_allgather.dir/hypercube_allgather.cpp.o"
+  "CMakeFiles/hypercube_allgather.dir/hypercube_allgather.cpp.o.d"
+  "hypercube_allgather"
+  "hypercube_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

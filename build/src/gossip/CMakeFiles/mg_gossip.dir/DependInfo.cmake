@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/bounded_fanout.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/bounded_fanout.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/bounded_fanout.cpp.o.d"
+  "/root/repo/src/gossip/broadcast.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/broadcast.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/broadcast.cpp.o.d"
+  "/root/repo/src/gossip/classification.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/classification.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/classification.cpp.o.d"
+  "/root/repo/src/gossip/collectives.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/collectives.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/collectives.cpp.o.d"
+  "/root/repo/src/gossip/concurrent_updown.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/concurrent_updown.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/concurrent_updown.cpp.o.d"
+  "/root/repo/src/gossip/hamiltonian_gossip.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/hamiltonian_gossip.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/hamiltonian_gossip.cpp.o.d"
+  "/root/repo/src/gossip/line_optimal.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/line_optimal.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/line_optimal.cpp.o.d"
+  "/root/repo/src/gossip/online.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/online.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/online.cpp.o.d"
+  "/root/repo/src/gossip/optimal_search.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/optimal_search.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/optimal_search.cpp.o.d"
+  "/root/repo/src/gossip/recovery.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/recovery.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/recovery.cpp.o.d"
+  "/root/repo/src/gossip/repeated.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/repeated.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/repeated.cpp.o.d"
+  "/root/repo/src/gossip/simple.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/simple.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/simple.cpp.o.d"
+  "/root/repo/src/gossip/solve.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/solve.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/solve.cpp.o.d"
+  "/root/repo/src/gossip/telephone.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/telephone.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/telephone.cpp.o.d"
+  "/root/repo/src/gossip/timetable.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/timetable.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/timetable.cpp.o.d"
+  "/root/repo/src/gossip/updown.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/updown.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/updown.cpp.o.d"
+  "/root/repo/src/gossip/weighted.cpp" "src/gossip/CMakeFiles/mg_gossip.dir/weighted.cpp.o" "gcc" "src/gossip/CMakeFiles/mg_gossip.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/mg_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_graph.dir/enumeration.cpp.o"
+  "CMakeFiles/mg_graph.dir/enumeration.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/generators.cpp.o"
+  "CMakeFiles/mg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/graph.cpp.o"
+  "CMakeFiles/mg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/hamiltonian.cpp.o"
+  "CMakeFiles/mg_graph.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/interconnect.cpp.o"
+  "CMakeFiles/mg_graph.dir/interconnect.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/io.cpp.o"
+  "CMakeFiles/mg_graph.dir/io.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/named.cpp.o"
+  "CMakeFiles/mg_graph.dir/named.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/product.cpp.o"
+  "CMakeFiles/mg_graph.dir/product.cpp.o.d"
+  "CMakeFiles/mg_graph.dir/properties.cpp.o"
+  "CMakeFiles/mg_graph.dir/properties.cpp.o.d"
+  "libmg_graph.a"
+  "libmg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

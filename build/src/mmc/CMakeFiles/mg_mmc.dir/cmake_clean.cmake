@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_mmc.dir/greedy.cpp.o"
+  "CMakeFiles/mg_mmc.dir/greedy.cpp.o.d"
+  "CMakeFiles/mg_mmc.dir/problem.cpp.o"
+  "CMakeFiles/mg_mmc.dir/problem.cpp.o.d"
+  "libmg_mmc.a"
+  "libmg_mmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_mmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

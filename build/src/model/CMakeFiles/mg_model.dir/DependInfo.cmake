@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/schedule.cpp" "src/model/CMakeFiles/mg_model.dir/schedule.cpp.o" "gcc" "src/model/CMakeFiles/mg_model.dir/schedule.cpp.o.d"
+  "/root/repo/src/model/stats.cpp" "src/model/CMakeFiles/mg_model.dir/stats.cpp.o" "gcc" "src/model/CMakeFiles/mg_model.dir/stats.cpp.o.d"
+  "/root/repo/src/model/validator.cpp" "src/model/CMakeFiles/mg_model.dir/validator.cpp.o" "gcc" "src/model/CMakeFiles/mg_model.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_model.dir/schedule.cpp.o"
+  "CMakeFiles/mg_model.dir/schedule.cpp.o.d"
+  "CMakeFiles/mg_model.dir/stats.cpp.o"
+  "CMakeFiles/mg_model.dir/stats.cpp.o.d"
+  "CMakeFiles/mg_model.dir/validator.cpp.o"
+  "CMakeFiles/mg_model.dir/validator.cpp.o.d"
+  "libmg_model.a"
+  "libmg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/network_sim.cpp" "src/sim/CMakeFiles/mg_sim.dir/network_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mg_sim.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sim/randomized.cpp" "src/sim/CMakeFiles/mg_sim.dir/randomized.cpp.o" "gcc" "src/sim/CMakeFiles/mg_sim.dir/randomized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/mg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

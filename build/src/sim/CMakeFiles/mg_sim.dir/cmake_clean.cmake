@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_sim.dir/network_sim.cpp.o"
+  "CMakeFiles/mg_sim.dir/network_sim.cpp.o.d"
+  "CMakeFiles/mg_sim.dir/randomized.cpp.o"
+  "CMakeFiles/mg_sim.dir/randomized.cpp.o.d"
+  "libmg_sim.a"
+  "libmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

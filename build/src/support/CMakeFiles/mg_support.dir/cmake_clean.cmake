@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_support.dir/table.cpp.o"
+  "CMakeFiles/mg_support.dir/table.cpp.o.d"
+  "CMakeFiles/mg_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/mg_support.dir/thread_pool.cpp.o.d"
+  "libmg_support.a"
+  "libmg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg_tree.dir/labeling.cpp.o"
+  "CMakeFiles/mg_tree.dir/labeling.cpp.o.d"
+  "CMakeFiles/mg_tree.dir/spanning_tree.cpp.o"
+  "CMakeFiles/mg_tree.dir/spanning_tree.cpp.o.d"
+  "libmg_tree.a"
+  "libmg_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_fanout_test.dir/bounded_fanout_test.cpp.o"
+  "CMakeFiles/bounded_fanout_test.dir/bounded_fanout_test.cpp.o.d"
+  "bounded_fanout_test"
+  "bounded_fanout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_fanout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

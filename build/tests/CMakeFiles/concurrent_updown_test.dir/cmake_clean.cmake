@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_updown_test.dir/concurrent_updown_test.cpp.o"
+  "CMakeFiles/concurrent_updown_test.dir/concurrent_updown_test.cpp.o.d"
+  "concurrent_updown_test"
+  "concurrent_updown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_updown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamiltonian_test.dir/hamiltonian_test.cpp.o"
+  "CMakeFiles/hamiltonian_test.dir/hamiltonian_test.cpp.o.d"
+  "hamiltonian_test"
+  "hamiltonian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamiltonian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_optimal_test.dir/line_optimal_test.cpp.o"
+  "CMakeFiles/line_optimal_test.dir/line_optimal_test.cpp.o.d"
+  "line_optimal_test"
+  "line_optimal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmc_test.dir/mmc_test.cpp.o"
+  "CMakeFiles/mmc_test.dir/mmc_test.cpp.o.d"
+  "mmc_test"
+  "mmc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

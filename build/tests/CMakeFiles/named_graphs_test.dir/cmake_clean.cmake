@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/named_graphs_test.dir/named_graphs_test.cpp.o"
+  "CMakeFiles/named_graphs_test.dir/named_graphs_test.cpp.o.d"
+  "named_graphs_test"
+  "named_graphs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/named_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_invariants_test.dir/paper_invariants_test.cpp.o"
+  "CMakeFiles/paper_invariants_test.dir/paper_invariants_test.cpp.o.d"
+  "paper_invariants_test"
+  "paper_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeated_test.dir/repeated_test.cpp.o"
+  "CMakeFiles/repeated_test.dir/repeated_test.cpp.o.d"
+  "repeated_test"
+  "repeated_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_test.dir/simple_test.cpp.o"
+  "CMakeFiles/simple_test.dir/simple_test.cpp.o.d"
+  "simple_test"
+  "simple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephone_test.dir/telephone_test.cpp.o"
+  "CMakeFiles/telephone_test.dir/telephone_test.cpp.o.d"
+  "telephone_test"
+  "telephone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_fuzz_test.dir/validator_fuzz_test.cpp.o"
+  "CMakeFiles/validator_fuzz_test.dir/validator_fuzz_test.cpp.o.d"
+  "validator_fuzz_test"
+  "validator_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
