@@ -4,6 +4,7 @@
 #include "gossip/simple.h"
 #include "gossip/telephone.h"
 #include "gossip/updown.h"
+#include "obs/registry.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
@@ -40,15 +41,35 @@ model::Schedule run_algorithm(const Instance& instance, Algorithm algorithm) {
 
 Solution solve_gossip(const graph::Graph& g, Algorithm algorithm,
                       ThreadPool* pool) {
-  Instance instance = Instance::from_network(g, pool);
-  model::Schedule schedule = run_algorithm(instance, algorithm);
+#if MG_OBS_ENABLED
+  const std::string name = algorithm_name(algorithm);
+  MG_OBS_ADD("gossip." + name + ".runs", 1);
+  MG_OBS_SCOPE_TIMER(solve_span, "gossip." + name + ".solve_ns");
+#endif
+  Instance instance = [&] {
+    MG_OBS_SCOPE_TIMER(build_span, "gossip.phase.build_instance_ns");
+    return Instance::from_network(g, pool);
+  }();
+  model::Schedule schedule = [&] {
+    MG_OBS_SCOPE_TIMER(run_span, "gossip.phase.run_algorithm_ns");
+    return run_algorithm(instance, algorithm);
+  }();
   model::ValidatorOptions options;
   if (algorithm == Algorithm::kTelephone) {
     options.variant = model::ModelVariant::kTelephone;
   }
   // Communications run on the tree network (§3): validate against it.
-  model::ValidationReport report = model::validate_schedule(
-      instance.tree().as_graph(), schedule, instance.initial(), options);
+  model::ValidationReport report = [&] {
+    MG_OBS_SCOPE_TIMER(validate_span, "gossip.phase.validate_ns");
+    return model::validate_schedule(instance.tree().as_graph(), schedule,
+                                    instance.initial(), options);
+  }();
+#if MG_OBS_ENABLED
+  MG_OBS_ADD("gossip." + name + ".rounds", schedule.total_time());
+  MG_OBS_ADD("gossip." + name + ".transmissions",
+             schedule.transmission_count());
+  MG_OBS_ADD("gossip." + name + ".deliveries", schedule.delivery_count());
+#endif
   return Solution{std::move(instance), algorithm, std::move(schedule),
                   std::move(report)};
 }

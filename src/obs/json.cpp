@@ -1,0 +1,168 @@
+#include "obs/json.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/contracts.h"
+
+namespace mg::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf.data();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::before_value(bool is_key) {
+  if (expect_value_) {
+    MG_EXPECTS_MSG(!is_key, "JSON key given where a value was expected");
+    expect_value_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (scopes_.empty()) {
+    MG_EXPECTS_MSG(!root_written_, "JSON document already complete");
+    root_written_ = true;
+    return;
+  }
+  MG_EXPECTS_MSG(is_key == (scopes_.back() == Scope::kObject),
+                 "JSON objects need keyed members; arrays bare values");
+  if (!first_in_scope_.back()) out_ << ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value(false);
+  out_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  MG_EXPECTS_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject &&
+                     !expect_value_,
+                 "unbalanced end_object");
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value(false);
+  out_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  MG_EXPECTS_MSG(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                 "unbalanced end_array");
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  before_value(true);
+  out_ << '"' << json_escape(name) << "\": ";
+  expect_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value(false);
+  out_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value(false);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value(false);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  MG_EXPECTS_MSG(std::isfinite(v), "JSON cannot represent NaN/Inf");
+  before_value(false);
+  std::array<char, 32> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  out_ << buf.data();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value(false);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value(false);
+  out_ << "null";
+  return *this;
+}
+
+bool JsonWriter::done() const {
+  return root_written_ && scopes_.empty() && !expect_value_;
+}
+
+}  // namespace mg::obs

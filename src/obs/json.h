@@ -1,0 +1,70 @@
+// Minimal JSON writer — just enough for the machine-readable artifacts
+// this library emits (metric snapshots, BENCH_*.json rows, trace streams).
+// No external dependency; the obs tests round-trip its output through an
+// equally minimal parser to pin the grammar down.
+//
+// The writer is a streaming state machine: begin/end object or array,
+// key(), and the value() overloads; commas, quoting, escaping, and
+// (optional) indentation are handled internally.  Misuse (a value where a
+// key is required, unbalanced end calls) trips an MG_EXPECTS contract.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, and control characters become escape sequences.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; `pretty` adds newlines and two-space indentation.
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next call must produce its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(name) + value(v) shorthand.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once the single root value is complete and all scopes are closed.
+  [[nodiscard]] bool done() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value(bool is_key);
+  void newline_indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  bool root_written_ = false;
+  bool expect_value_ = false;  // a key was just written
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+};
+
+}  // namespace mg::obs

@@ -1,0 +1,77 @@
+// Observability primitives: monotonic counters and accumulating timers.
+//
+// Both are thread-safe (relaxed atomics — metrics need no ordering
+// guarantees) and trivially cheap: an enabled counter increment is one
+// relaxed fetch_add, a disabled one (see registry.h) lands on a shared
+// scratch cell without ever taking a lock or allocating.  All hot-path
+// instrumentation goes through the MG_OBS_* macros in registry.h so it can
+// also be compiled out entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/stopwatch.h"
+
+namespace mg::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Accumulating wall-clock timer: total nanoseconds across `count` spans.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    total_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII span: records the elapsed wall time into a Timer on destruction.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Timer& timer) : timer_(&timer) {}
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  ~ScopeTimer() {
+    timer_->record_ns(static_cast<std::uint64_t>(watch_.seconds() * 1e9));
+  }
+
+ private:
+  Timer* timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace mg::obs

@@ -1,0 +1,87 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace mg::obs {
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  const auto it = std::find_if(
+      counters.begin(), counters.end(),
+      [&](const auto& entry) { return entry.first == name; });
+  return it == counters.end() ? 0 : it->second;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  if (!enabled()) return scratch_counter_;
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  if (!enabled()) return scratch_timer_;
+  const std::scoped_lock lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  return *timers_.emplace(std::string(name), std::make_unique<Timer>())
+              .first->second;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, t] : timers_) t->reset();
+  scratch_counter_.reset();
+  scratch_timer_.reset();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const std::scoped_lock lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    snap.timers.emplace_back(name, TimerSnapshot{t->total_ns(), t->count()});
+  }
+  return snap;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const Snapshot snap = snapshot();
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.field(name, v);
+  w.end_object();
+  w.key("timers").begin_object();
+  for (const auto& [name, t] : snap.timers) {
+    w.key(name).begin_object();
+    w.field("total_ns", t.total_ns);
+    w.field("count", t.count);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace mg::obs

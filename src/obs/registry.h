@@ -1,0 +1,106 @@
+// Process-wide metric registry.
+//
+// Instrumented code asks the registry for a named Counter or Timer;
+// references stay valid for the registry's lifetime, so hot paths may cache
+// them.  Two independent off switches keep the cost bounded:
+//
+//  * compile time — building with MG_OBS_ENABLED=0 (CMake option -DMG_OBS=OFF)
+//    turns every MG_OBS_* macro below into nothing;
+//  * run time — Registry::set_enabled(false) makes counter()/timer() hand
+//    back shared scratch cells without touching the name maps or the mutex,
+//    so an instrumented binary can null out its observability per process
+//    (the "null registry").  `bench_main --sanity` measures both paths.
+//
+// snapshot() / write_json() export every named metric for the bench runner
+// and the perf-trajectory files (BENCH_*.json).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mg::obs {
+
+struct TimerSnapshot {
+  std::uint64_t total_ns = 0;
+  std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of every named metric, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, TimerSnapshot>> timers;
+
+  /// Value of a counter by exact name (0 when absent).
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry every MG_OBS_* macro reports into.
+  static Registry& global();
+
+  /// Runtime kill switch: while disabled, counter()/timer() return shared
+  /// scratch cells (no lock, no allocation) and snapshots stay empty.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Named metric accessors; create on first use.  The returned references
+  /// live as long as the registry (reset() zeroes values, never removes).
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// Zeroes every registered metric (names stay registered).
+  void reset();
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Writes the snapshot as a JSON object
+  /// {"counters": {...}, "timers": {name: {"total_ns": .., "count": ..}}}.
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  Counter scratch_counter_;  // sink while disabled
+  Timer scratch_timer_;
+};
+
+}  // namespace mg::obs
+
+// Compile-time switch; the build defines MG_OBS_ENABLED=0/1 on the mg_obs
+// target (PUBLIC, so every linkee agrees).  Default on for plain includes.
+#ifndef MG_OBS_ENABLED
+#define MG_OBS_ENABLED 1
+#endif
+
+#if MG_OBS_ENABLED
+/// Adds `delta` to the named global counter.
+#define MG_OBS_ADD(name, delta) \
+  ::mg::obs::Registry::global().counter(name).add(delta)
+/// Times the enclosing scope into the named global timer.  `var` names the
+/// guard object (must be unique in the scope).
+#define MG_OBS_SCOPE_TIMER(var, name) \
+  ::mg::obs::ScopeTimer var(::mg::obs::Registry::global().timer(name))
+#else
+#define MG_OBS_ADD(name, delta) ((void)0)
+#define MG_OBS_SCOPE_TIMER(var, name) ((void)0)
+#endif

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/registry.h"
 #include "support/bitset.h"
 #include "support/contracts.h"
 
@@ -49,12 +50,17 @@ SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
     in_flight.clear();
   };
 
+  std::uint64_t deliveries = 0;
+  std::uint64_t dropped_txs = 0;
   const std::size_t rounds = schedule.round_count();
   for (std::size_t t = 0; t < rounds; ++t) {
     apply_arrivals(t);
     if (t > 0) result.knowledge.push_back(total_known);  // state at time t
     for (const auto& tx : schedule.round(t)) {
-      if (dropped(t, tx.sender)) continue;
+      if (dropped(t, tx.sender)) {
+        ++dropped_txs;
+        continue;
+      }
       if (!hold[tx.sender].test(tx.message)) {
         ++result.skipped_sends;  // fault cascade: nothing to forward
         continue;
@@ -65,12 +71,23 @@ SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
                                 tx.receivers.empty() ? tx.sender
                                                      : tx.receivers.front()});
       }
+      if (options.sink != nullptr) {
+        options.sink->on_event(
+            {"send", t, tx.sender, tx.message,
+             tx.receivers.empty() ? tx.sender : tx.receivers.front(),
+             tx.receivers.size()});
+      }
       for (Vertex r : tx.receivers) {
         result.total_time = std::max(result.total_time, t + 1);
         if (options.record_trace) {
           result.trace.push_back(
               {SimEvent::Kind::kReceive, t + 1, r, tx.message, tx.sender});
         }
+        if (options.sink != nullptr) {
+          options.sink->on_event({"receive", t + 1, r, tx.message, tx.sender,
+                                  0});
+        }
+        ++deliveries;
         in_flight.emplace_back(r, tx.message);
       }
     }
@@ -84,6 +101,16 @@ SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
     if (result.missing[v] != 0) result.completed = false;
   }
   result.final_holds = std::move(hold);
+
+  MG_OBS_ADD("sim.runs", 1);
+  MG_OBS_ADD("sim.deliveries", deliveries);
+  MG_OBS_ADD("sim.dropped_transmissions", dropped_txs);
+  MG_OBS_ADD("sim.skipped_sends", result.skipped_sends);
+  if (result.completed && !result.completion_time.empty()) {
+    MG_OBS_ADD("sim.completion_round",
+               *std::max_element(result.completion_time.begin(),
+                                 result.completion_time.end()));
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include "graph/graph.h"
 #include "model/schedule.h"
+#include "obs/trace.h"
 #include "support/bitset.h"
 
 namespace mg::sim {
@@ -24,6 +25,10 @@ struct SimOptions {
   /// Transmissions to drop, addressed as (round, sender).  Every matching
   /// transmission is suppressed entirely (no receiver gets the message).
   std::vector<std::pair<std::size_t, Vertex>> drop;
+  /// Streaming alternative to record_trace: every send/receive event is
+  /// pushed here as it happens ("send" carries the fan-out |D|).  Works
+  /// independently of record_trace; nullptr disables streaming.
+  obs::TraceSink* sink = nullptr;
 };
 
 struct SimEvent {

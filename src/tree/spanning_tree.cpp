@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/properties.h"
+#include "obs/registry.h"
 #include "support/contracts.h"
 #include "support/thread_pool.h"
 
@@ -68,6 +69,7 @@ Graph RootedTree::as_graph() const {
 }
 
 RootedTree bfs_tree(const Graph& g, Vertex root) {
+  MG_OBS_SCOPE_TIMER(bfs_span, "tree.bfs_ns");
   const Vertex n = g.vertex_count();
   MG_EXPECTS(root < n);
   std::vector<Vertex> parent(n, graph::kNoVertex);
@@ -75,9 +77,11 @@ RootedTree bfs_tree(const Graph& g, Vertex root) {
   std::vector<Vertex> frontier{root};
   std::vector<Vertex> next;
   seen[root] = 1;
+  std::uint64_t edge_visits = 0;  // directed adjacency entries scanned
   while (!frontier.empty()) {
     next.clear();
     for (Vertex u : frontier) {
+      edge_visits += g.degree(u);
       for (Vertex v : g.neighbors(u)) {
         if (!seen[v]) {
           seen[v] = 1;
@@ -93,11 +97,19 @@ RootedTree bfs_tree(const Graph& g, Vertex root) {
   }
   MG_EXPECTS_MSG(std::count(seen.begin(), seen.end(), 1) == n,
                  "bfs_tree requires a connected graph");
+  MG_OBS_ADD("tree.bfs_edge_visits", edge_visits);
+  MG_OBS_ADD("tree.bfs_runs", 1);
   return RootedTree::from_parents(root, std::move(parent));
 }
 
 RootedTree min_depth_spanning_tree(const Graph& g, ThreadPool* pool) {
-  const auto metrics = graph::compute_metrics(g, pool);
+  MG_OBS_SCOPE_TIMER(build_span, "tree.min_depth_build_ns");
+  MG_OBS_ADD("tree.min_depth_builds", 1);
+  graph::Metrics metrics;
+  {
+    MG_OBS_SCOPE_TIMER(center_span, "tree.center_scan_ns");
+    metrics = graph::compute_metrics(g, pool);
+  }
   RootedTree t = bfs_tree(g, metrics.center);
   MG_ENSURES(t.height() == metrics.radius);
   return t;

@@ -1,0 +1,356 @@
+// mg::obs unit tests: metric primitives, the registry's runtime null mode,
+// and — per the no-external-dependency rule — a full round-trip of the
+// JSON emitter through a minimal recursive-descent parser defined here, so
+// the emitted grammar is checked field-by-field rather than by eyeball.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/network_sim.h"
+
+namespace mg::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (test-local; strings, numbers, bools, null, nested
+// objects/arrays, escape sequences — exactly what the writer can produce).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue& at(const std::string& k) const {
+    const auto it = object.find(k);
+    EXPECT_NE(it, object.end()) << "missing key " << k;
+    static const JsonValue kNullValue;
+    return it == object.end() ? kNullValue : it->second;
+  }
+  std::uint64_t as_u64() const {
+    EXPECT_EQ(kind, Kind::kNumber);
+    return static_cast<std::uint64_t>(number);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_literal(c == 't');
+    if (c == 'n') {
+      match("null");
+      return {};
+    }
+    return parse_number();
+  }
+
+  void match(std::string_view word) {
+    skip_ws();
+    ASSERT_LE(pos_ + word.size(), text_.size());
+    EXPECT_EQ(text_.substr(pos_, word.size()), word);
+    pos_ += word.size();
+  }
+
+  JsonValue parse_literal(bool value) {
+    match(value ? "true" : "false");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number";
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ADD_FAILURE() << "dangling escape at end of input";
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            ADD_FAILURE() << "truncated \\u escape";
+            return out;
+          }
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+          pos_ += 4;
+          EXPECT_LT(code, 0x80u) << "writer only escapes control chars";
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          ADD_FAILURE() << "unknown escape \\" << esc;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume_if('}')) return v;
+    do {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+    } while (consume_if(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume_if(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume_if(','));
+    expect(']');
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterAndTimerAccumulate) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Timer t;
+  t.record_ns(100);
+  t.record_ns(250);
+  EXPECT_EQ(t.total_ns(), 350u);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Metrics, ScopeTimerRecordsOneSpan) {
+  Timer t;
+  { ScopeTimer span(t); }
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(Registry, NamedMetricsAreStable) {
+  Registry r;
+  Counter& a = r.counter("a");
+  a.add(3);
+  EXPECT_EQ(&r.counter("a"), &a);  // same object on re-lookup
+  EXPECT_EQ(r.snapshot().counter("a"), 3u);
+  EXPECT_EQ(r.snapshot().counter("missing"), 0u);
+
+  r.reset();
+  EXPECT_EQ(r.snapshot().counter("a"), 0u);  // zeroed, still registered
+  EXPECT_EQ(r.snapshot().counters.size(), 1u);
+}
+
+TEST(Registry, DisabledRegistryIsNull) {
+  Registry r;
+  r.set_enabled(false);
+  r.counter("ghost").add(99);
+  r.timer("ghost_t").record_ns(1);
+  const Snapshot snap = r.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.timers.empty());
+
+  r.set_enabled(true);
+  r.counter("real").add(1);
+  EXPECT_EQ(r.snapshot().counter("real"), 1u);
+}
+
+TEST(Json, EscapeCoversControlAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WriterRoundTripsNestedDocument) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("text", "with \"quotes\" and\nnewline");
+  w.field("count", std::uint64_t{18446744073709551615ull});
+  w.field("negative", std::int64_t{-7});
+  w.field("ratio", 0.5);
+  w.field("flag", true);
+  w.key("nothing").null();
+  w.key("list").begin_array().value(1).value(2).value(3).end_array();
+  w.key("nested").begin_object().field("deep", "yes").end_object();
+  w.key("empty_obj").begin_object().end_object();
+  w.key("empty_arr").begin_array().end_array();
+  w.end_object();
+  ASSERT_TRUE(w.done());
+
+  const JsonValue doc = Parser(out.str()).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(doc.at("text").string, "with \"quotes\" and\nnewline");
+  EXPECT_EQ(doc.at("negative").number, -7.0);
+  EXPECT_EQ(doc.at("ratio").number, 0.5);
+  EXPECT_TRUE(doc.at("flag").boolean);
+  EXPECT_EQ(doc.at("nothing").kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(doc.at("list").array.size(), 3u);
+  EXPECT_EQ(doc.at("list").array[1].as_u64(), 2u);
+  EXPECT_EQ(doc.at("nested").at("deep").string, "yes");
+  EXPECT_TRUE(doc.at("empty_obj").object.empty());
+  EXPECT_TRUE(doc.at("empty_arr").array.empty());
+}
+
+TEST(Json, RegistryEmitterRoundTrip) {
+  Registry r;
+  r.counter("gossip.rounds").add(42);
+  r.counter("odd \"name\"\n").add(7);
+  r.timer("solve_ns").record_ns(123456);
+  r.timer("solve_ns").record_ns(1);
+
+  const JsonValue doc = Parser(r.to_json()).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue& counters = doc.at("counters");
+  ASSERT_EQ(counters.object.size(), 2u);
+  EXPECT_EQ(counters.at("gossip.rounds").as_u64(), 42u);
+  EXPECT_EQ(counters.at("odd \"name\"\n").as_u64(), 7u);
+  const JsonValue& timers = doc.at("timers");
+  ASSERT_EQ(timers.object.size(), 1u);
+  EXPECT_EQ(timers.at("solve_ns").at("total_ns").as_u64(), 123457u);
+  EXPECT_EQ(timers.at("solve_ns").at("count").as_u64(), 2u);
+}
+
+TEST(Trace, SinksObserveSimulatedRun) {
+  const auto g = graph::cycle(8);
+  const auto sol = gossip::solve_gossip(g);
+  ASSERT_TRUE(sol.report.ok);
+  const auto tree = sol.instance.tree().as_graph();
+
+  CountingTraceSink counting;
+  std::ostringstream jsonl;
+  JsonLinesTraceSink lines(jsonl);
+
+  sim::SimOptions options;
+  options.sink = &counting;
+  const auto result =
+      sim::simulate(tree, sol.schedule, sol.instance.initial(), options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(counting.sends(), sol.schedule.transmission_count());
+  EXPECT_EQ(counting.receives(), sol.schedule.delivery_count());
+  EXPECT_EQ(counting.total(), counting.sends() + counting.receives());
+
+  options.sink = &lines;
+  (void)sim::simulate(tree, sol.schedule, sol.instance.initial(), options);
+  std::istringstream in(jsonl.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    const JsonValue event = Parser(line).parse();
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const std::string& kind = event.at("kind").string;
+    EXPECT_TRUE(kind == "send" || kind == "receive");
+    if (kind == "send") {
+      EXPECT_GE(event.at("fanout").as_u64(), 1u);
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, counting.total());
+}
+
+}  // namespace
+}  // namespace mg::obs

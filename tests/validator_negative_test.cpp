@@ -1,0 +1,180 @@
+// Negative-path validator tests: each test takes a *valid*
+// ConcurrentUpDown schedule, applies one targeted corruption, and asserts
+// that the validator rejects it with the distinct reason for that rule —
+// so a validator regression that starts accepting bad schedules (or
+// misattributing errors) is caught, not just the happy path.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "model/schedule.h"
+#include "model/validator.h"
+
+namespace mg {
+namespace {
+
+using gossip::Algorithm;
+using model::Schedule;
+using model::Transmission;
+
+struct Fixture {
+  gossip::Solution sol;
+  graph::Graph tree;
+  std::vector<model::Message> initial;
+
+  explicit Fixture(const graph::Graph& g)
+      : sol(gossip::solve_gossip(g, Algorithm::kConcurrentUpDown)),
+        tree(sol.instance.tree().as_graph()),
+        initial(sol.instance.initial()) {
+    EXPECT_TRUE(sol.report.ok) << sol.report.error;
+  }
+
+  [[nodiscard]] model::ValidationReport validate(
+      const Schedule& schedule,
+      model::ModelVariant variant = model::ModelVariant::kMulticast) const {
+    model::ValidatorOptions options;
+    options.variant = variant;
+    return model::validate_schedule(tree, schedule, initial, options);
+  }
+};
+
+/// Copies `s` with `edit(t, tx)` applied to every transmission.
+template <typename Edit>
+Schedule rewrite(const Schedule& s, Edit&& edit) {
+  Schedule out;
+  for (std::size_t t = 0; t < s.round_count(); ++t) {
+    for (const Transmission& tx : s.round(t)) {
+      Transmission copy = tx;
+      edit(t, copy);
+      out.add(t, std::move(copy));
+    }
+  }
+  return out;
+}
+
+/// True when `v` sends some message in round `t` of `s`.
+bool sends_in_round(const Schedule& s, std::size_t t, graph::Vertex v) {
+  for (const Transmission& tx : s.round(t)) {
+    if (tx.sender == v) return true;
+  }
+  return false;
+}
+
+TEST(ValidatorNegative, DuplicateReceiverInOneRound) {
+  const Fixture f(graph::star(8));
+
+  // Find a round where some receiver x has a neighbor w that is idle as a
+  // sender; w additionally sending its own message to x makes x receive
+  // twice that round.  w always holds its origin message, and stays
+  // adjacent, so no earlier rule can fire instead.
+  bool corrupted = false;
+  for (std::size_t t = 0; t < f.sol.schedule.round_count() && !corrupted;
+       ++t) {
+    for (const Transmission& tx : f.sol.schedule.round(t)) {
+      for (const graph::Vertex x : tx.receivers) {
+        for (const graph::Vertex w : f.tree.neighbors(x)) {
+          if (w == tx.sender || sends_in_round(f.sol.schedule, t, w)) {
+            continue;
+          }
+          Schedule bad = f.sol.schedule;
+          bad.add(t, Transmission{f.initial[w], w, {x}});
+          const auto report = f.validate(bad);
+          EXPECT_FALSE(report.ok);
+          EXPECT_NE(report.error.find("receives two messages in one round"),
+                    std::string::npos)
+              << report.error;
+          corrupted = true;
+          break;
+        }
+        if (corrupted) break;
+      }
+      if (corrupted) break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no corruptible (round, receiver) pair found";
+}
+
+TEST(ValidatorNegative, NonAdjacentSend) {
+  const Fixture f(graph::star(8));
+
+  // Retarget the first transmission at a non-neighbor of its sender.
+  bool corrupted = false;
+  const Schedule bad = rewrite(f.sol.schedule, [&](std::size_t, auto& tx) {
+    if (corrupted) return;
+    for (graph::Vertex y = 0; y < f.tree.vertex_count(); ++y) {
+      if (y != tx.sender && !f.tree.has_edge(tx.sender, y)) {
+        tx.receivers = {y};
+        corrupted = true;
+        return;
+      }
+    }
+  });
+  ASSERT_TRUE(corrupted) << "no non-adjacent retarget found";
+  const auto report = f.validate(bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("not adjacent to sender"), std::string::npos)
+      << report.error;
+}
+
+TEST(ValidatorNegative, SendBeforeHold) {
+  const Fixture f(graph::fig4_network());
+
+  // In round 0 every processor holds exactly its own message; an idle
+  // processor w sending some *other* message is a hold violation (checked
+  // before any receiver rule, so the reason is unambiguous).
+  graph::Vertex w = graph::kNoVertex;
+  for (graph::Vertex v = 0; v < f.tree.vertex_count(); ++v) {
+    if (!sends_in_round(f.sol.schedule, 0, v)) {
+      w = v;
+      break;
+    }
+  }
+  ASSERT_NE(w, graph::kNoVertex) << "every processor sends in round 0";
+  const model::Message foreign =
+      f.initial[w == 0 ? 1 : 0];  // a message w does not hold at time 0
+  ASSERT_NE(foreign, f.initial[w]);
+  Schedule bad = f.sol.schedule;
+  bad.add(0, Transmission{foreign, w, {f.tree.neighbors(w).front()}});
+  const auto report = f.validate(bad);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("sender does not hold the message"),
+            std::string::npos)
+      << report.error;
+}
+
+TEST(ValidatorNegative, MulticastRejectedUnderTelephoneModel) {
+  const Fixture f(graph::star(8));
+
+  // On a star the down phase must multicast (fan-out > 1), so the very
+  // same schedule that passes the multicast model violates |D| = 1.
+  ASSERT_GE(f.sol.schedule.max_fanout(), 2u);
+  const auto report =
+      f.validate(f.sol.schedule, model::ModelVariant::kTelephone);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("multicast under telephone model"),
+            std::string::npos)
+      << report.error;
+}
+
+TEST(ValidatorNegative, ErrorReasonsAreDistinct) {
+  // The four corruption modes above must be distinguishable by substring;
+  // guard the message wording the other tests rely on.
+  const std::vector<std::string> reasons = {
+      "receives two messages in one round",
+      "not adjacent to sender",
+      "sender does not hold the message",
+      "multicast under telephone model",
+  };
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    for (std::size_t j = i + 1; j < reasons.size(); ++j) {
+      EXPECT_EQ(reasons[i].find(reasons[j]), std::string::npos);
+      EXPECT_EQ(reasons[j].find(reasons[i]), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mg
