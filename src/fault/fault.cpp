@@ -1,0 +1,44 @@
+#include "fault/fault.h"
+
+namespace mg::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality 64 -> 64 bit mix, the same
+/// avalanche stage support/rng.h uses for seeding.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double FaultPlan::coin(std::size_t round, graph::Vertex sender) const {
+  // Distinct golden-ratio-derived multipliers keep (round, sender) pairs
+  // from aliasing; the finalizer supplies the avalanche.
+  std::uint64_t x = seed_;
+  x ^= mix64(static_cast<std::uint64_t>(round) + 0x9e3779b97f4a7c15ULL);
+  x ^= mix64((static_cast<std::uint64_t>(sender) << 32) ^
+             0xd1b54a32d192ed03ULL);
+  return static_cast<double>(mix64(x) >> 11) * 0x1.0p-53;
+}
+
+std::size_t FaultPlan::crashes_before(std::size_t horizon) const {
+  std::size_t count = 0;
+  for (const auto& [v, round] : crashes_) {
+    (void)v;
+    if (round < horizon) ++count;
+  }
+  return count;
+}
+
+std::vector<char> FaultPlan::alive_at(std::size_t t, graph::Vertex n) const {
+  std::vector<char> alive(n, 1);
+  for (const auto& [v, round] : crashes_) {
+    if (v < n && round <= t) alive[v] = 0;
+  }
+  return alive;
+}
+
+}  // namespace mg::fault

@@ -1,0 +1,185 @@
+// Composable fault models for schedule execution (`mg::fault`).
+//
+// The paper's n + r bound (Theorem 1) assumes a lossless synchronous
+// network; real multicast fabrics drop, delay, and crash.  A `FaultPlan`
+// describes, deterministically and reproducibly, what the fabric does to a
+// run:
+//
+//  * deterministic drops — an explicit set of (round, sender) transmission
+//    addresses, answered in O(1) by `DropSet` (a hash set; the simulator's
+//    original std::find list scan was O(drops) per transmission);
+//  * probabilistic drops — every transmission is dropped i.i.d. with
+//    probability `drop_rate`.  The coin for (round, sender) is a hash of
+//    (seed, round, sender), so the outcome is a pure function of the plan:
+//    re-running the same schedule reproduces the same faults, and the
+//    verdict does not depend on evaluation order;
+//  * crash-stop processors — a processor with crash round c executes
+//    rounds 0..c-1 and then stops: it sends nothing at rounds >= c and
+//    every message that would arrive at time >= c is lost (it died before
+//    the receive);
+//  * per-edge delivery delay — a message multicast over edge {u, v} at
+//    round t arrives at t + 1 + extra_delay(u, v) instead of t + 1
+//    (asymmetric congestion is modelled by the undirected edge key; both
+//    directions share the delay).
+//
+// Plans are consumed by `sim::simulate` via `sim::SimOptions::faults` and
+// by the self-healing driver `gossip::solve_with_recovery`, which queries
+// the plan at absolute round offsets so faults keep firing while recovery
+// rounds run.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mg::fault {
+
+/// Crash round value meaning "never crashes".
+inline constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+
+/// O(1) membership set of (round, sender) transmission addresses.  The
+/// round-based simulator pays one lookup per scheduled transmission, so
+/// fault-heavy runs need this to be constant time (satellite of ISSUE 3:
+/// the previous implementation scanned a vector with std::find).
+class DropSet {
+ public:
+  DropSet() = default;
+
+  void insert(std::size_t round, graph::Vertex sender) {
+    keys_.insert(key(round, sender));
+  }
+
+  [[nodiscard]] bool contains(std::size_t round, graph::Vertex sender) const {
+    return keys_.find(key(round, sender)) != keys_.end();
+  }
+
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  // Rounds are bounded by the serialization ceiling n(n-1) with n < 2^16
+  // in any realistic run, so a 32/32 split cannot collide.
+  static std::uint64_t key(std::size_t round, graph::Vertex sender) {
+    return (static_cast<std::uint64_t>(round) << 32) |
+           static_cast<std::uint64_t>(sender);
+  }
+
+  std::unordered_set<std::uint64_t> keys_;
+};
+
+/// A reproducible description of everything the fabric does wrong.
+/// Builders chain: `FaultPlan().drop_rate(0.1).seed(7).crash(3, 12)`.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  // --- builders -----------------------------------------------------------
+
+  /// Deterministically drops every transmission sent by `sender` at
+  /// `round` (absolute round index).
+  FaultPlan& drop(std::size_t round, graph::Vertex sender) {
+    drops_.insert(round, sender);
+    return *this;
+  }
+
+  /// Drops every transmission i.i.d. with probability `p` in [0, 1].
+  FaultPlan& drop_rate(double p) {
+    drop_rate_ = p;
+    return *this;
+  }
+
+  /// Seed for the probabilistic coins (default 0x5eed).
+  FaultPlan& seed(std::uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  /// Crash-stop: processor `v` executes rounds 0..from_round-1 only.
+  FaultPlan& crash(graph::Vertex v, std::size_t from_round) {
+    crashes_[v] = from_round;
+    return *this;
+  }
+
+  /// Messages over edge {u, v} take 1 + `extra` time units to arrive.
+  FaultPlan& delay(graph::Vertex u, graph::Vertex v, std::size_t extra) {
+    delays_[edge_key(u, v)] = extra;
+    if (extra > max_delay_) max_delay_ = extra;
+    return *this;
+  }
+
+  // --- queries (the simulator's hot path) ---------------------------------
+
+  /// True when the plan can never perturb a run (the simulator's fast
+  /// path skips all fault bookkeeping).
+  [[nodiscard]] bool empty() const {
+    return drops_.empty() && drop_rate_ <= 0.0 && crashes_.empty() &&
+           delays_.empty();
+  }
+
+  /// Combined deterministic + probabilistic drop verdict for the
+  /// transmission sent by `sender` at absolute round `round`.
+  [[nodiscard]] bool drops(std::size_t round, graph::Vertex sender) const {
+    if (drops_.contains(round, sender)) return true;
+    if (drop_rate_ <= 0.0) return false;
+    return coin(round, sender) < drop_rate_;
+  }
+
+  /// Round from which `v` is dead (kNever when it never crashes).
+  [[nodiscard]] std::size_t crash_round(graph::Vertex v) const {
+    const auto it = crashes_.find(v);
+    return it == crashes_.end() ? kNever : it->second;
+  }
+
+  /// True when `v` is dead at time `t` (crash takes effect at the start of
+  /// its round: no sends at rounds >= crash, no receives at times >= crash).
+  [[nodiscard]] bool crashed(graph::Vertex v, std::size_t t) const {
+    return t >= crash_round(v);
+  }
+
+  /// Extra delivery delay over edge {u, v} (0 when unlisted).
+  [[nodiscard]] std::size_t extra_delay(graph::Vertex u,
+                                        graph::Vertex v) const {
+    if (delays_.empty()) return 0;
+    const auto it = delays_.find(edge_key(u, v));
+    return it == delays_.end() ? 0 : it->second;
+  }
+
+  /// Largest extra delay in the plan — the simulator's drain horizon.
+  [[nodiscard]] std::size_t max_extra_delay() const { return max_delay_; }
+
+  [[nodiscard]] bool has_crashes() const { return !crashes_.empty(); }
+  [[nodiscard]] double drop_probability() const { return drop_rate_; }
+  [[nodiscard]] std::uint64_t seed_value() const { return seed_; }
+  [[nodiscard]] const DropSet& deterministic_drops() const { return drops_; }
+
+  /// Number of distinct processors whose crash round is < `horizon` — the
+  /// crash events that can affect a run of that many rounds.
+  [[nodiscard]] std::size_t crashes_before(std::size_t horizon) const;
+
+  /// alive[v] = !crashed(v, t): processor v still participates at time `t`
+  /// (crash_round(v) > t); the survivor set the recovery driver plans on.
+  [[nodiscard]] std::vector<char> alive_at(std::size_t t,
+                                           graph::Vertex n) const;
+
+ private:
+  static std::uint64_t edge_key(graph::Vertex u, graph::Vertex v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) |
+           static_cast<std::uint64_t>(v);
+  }
+
+  /// Uniform [0, 1) coin for (round, sender), a pure function of the seed.
+  [[nodiscard]] double coin(std::size_t round, graph::Vertex sender) const;
+
+  DropSet drops_;
+  double drop_rate_ = 0.0;
+  std::uint64_t seed_ = 0x5eedULL;
+  std::size_t max_delay_ = 0;
+  std::unordered_map<graph::Vertex, std::size_t> crashes_;
+  std::unordered_map<std::uint64_t, std::size_t> delays_;
+};
+
+}  // namespace mg::fault

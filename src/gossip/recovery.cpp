@@ -1,12 +1,72 @@
 #include "gossip/recovery.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "model/validator.h"
+#include "obs/registry.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
 
 using model::Message;
+
+namespace {
+
+constexpr std::uint32_t kNoComponent = static_cast<std::uint32_t>(-1);
+
+/// Connected components of the alive-induced subgraph, plus each
+/// component's knowledge closure (the union of its members' hold sets) —
+/// the most any flood inside the component can deliver.
+struct SurvivorClosure {
+  std::vector<std::uint32_t> component;  ///< kNoComponent for dead vertices
+  std::vector<DynamicBitset> closure;    ///< indexed by component id
+};
+
+SurvivorClosure survivor_closure(const graph::Graph& g,
+                                 const std::vector<DynamicBitset>& holds,
+                                 const std::vector<char>& alive) {
+  const graph::Vertex n = g.vertex_count();
+  const std::size_t message_count = n == 0 ? 0 : holds[0].size();
+  SurvivorClosure result;
+  result.component.assign(n, kNoComponent);
+  std::vector<graph::Vertex> queue;
+  for (graph::Vertex start = 0; start < n; ++start) {
+    if (!alive[start] || result.component[start] != kNoComponent) continue;
+    const auto id = static_cast<std::uint32_t>(result.closure.size());
+    result.closure.emplace_back(message_count);
+    result.component[start] = id;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      const graph::Vertex v = queue.back();
+      queue.pop_back();
+      for (std::size_t m = 0; m < message_count; ++m) {
+        if (holds[v].test(m)) result.closure[id].set(m);
+      }
+      for (graph::Vertex u : g.neighbors(v)) {
+        if (alive[u] && result.component[u] == kNoComponent) {
+          result.component[u] = id;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+/// Pairs still deliverable: live vertices below their component closure.
+std::size_t outstanding_pairs(const SurvivorClosure& sc,
+                              const std::vector<DynamicBitset>& holds,
+                              const std::vector<char>& alive) {
+  std::size_t outstanding = 0;
+  for (std::size_t v = 0; v < holds.size(); ++v) {
+    if (!alive[v]) continue;
+    outstanding += sc.closure[sc.component[v]].count() - holds[v].count();
+  }
+  return outstanding;
+}
+
+}  // namespace
 
 std::vector<std::vector<Message>> holds_to_initial_sets(
     const std::vector<DynamicBitset>& holds) {
@@ -17,6 +77,85 @@ std::vector<std::vector<Message>> holds_to_initial_sets(
     }
   }
   return sets;
+}
+
+model::Schedule partial_completion_schedule(const graph::Graph& g,
+                                            const std::vector<DynamicBitset>&
+                                                holds,
+                                            const std::vector<char>& alive) {
+  const graph::Vertex n = g.vertex_count();
+  MG_EXPECTS(holds.size() == n);
+  const std::size_t message_count = n == 0 ? 0 : holds[0].size();
+  for (const auto& h : holds) MG_EXPECTS(h.size() == message_count);
+  std::vector<char> live = alive;
+  if (live.empty()) live.assign(n, 1);
+  MG_EXPECTS(live.size() == n);
+
+  const SurvivorClosure sc = survivor_closure(g, holds, live);
+  std::vector<DynamicBitset> state = holds;
+  std::size_t outstanding = outstanding_pairs(sc, state, live);
+
+  model::Schedule schedule;
+  std::size_t t = 0;
+  const std::size_t safety_limit = message_count * n + 8;
+  std::vector<char> receiving(n, 0);
+  std::vector<std::pair<graph::Vertex, Message>> arrivals;
+  while (outstanding > 0) {
+    MG_ASSERT_MSG(t < safety_limit, "greedy completion failed to converge");
+    std::fill(receiving.begin(), receiving.end(), 0);
+    arrivals.clear();
+
+    for (graph::Vertex v = 0; v < n; ++v) {
+      if (!live[v]) continue;
+      // Pick the held message wanted by the most currently-free live
+      // neighbors.  Any message v holds is inside its neighbors' closure
+      // (same component), so "u misses m" is exactly "u wants m".
+      Message best_message = 0;
+      std::vector<graph::Vertex> best_receivers;
+      // Candidate messages: those missing from at least one free neighbor.
+      // Iterate neighbors' missing bits rather than all messages.
+      std::vector<Message> candidates;
+      for (graph::Vertex u : g.neighbors(v)) {
+        if (!live[u] || receiving[u]) continue;
+        for (std::size_t m = 0; m < message_count; ++m) {
+          if (state[v].test(m) && !state[u].test(m)) {
+            candidates.push_back(static_cast<Message>(m));
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (Message m : candidates) {
+        std::vector<graph::Vertex> receivers;
+        for (graph::Vertex u : g.neighbors(v)) {
+          if (live[u] && !receiving[u] && !state[u].test(m)) {
+            receivers.push_back(u);
+          }
+        }
+        if (receivers.size() > best_receivers.size()) {
+          best_receivers = std::move(receivers);
+          best_message = m;
+        }
+      }
+      if (best_receivers.empty()) continue;
+      for (graph::Vertex u : best_receivers) {
+        receiving[u] = 1;
+        arrivals.emplace_back(u, best_message);
+      }
+      schedule.add(t, {best_message, v, std::move(best_receivers)});
+    }
+
+    MG_ASSERT_MSG(!arrivals.empty(),
+                  "no progress toward the achievable closure");
+    for (const auto& [u, m] : arrivals) {
+      state[u].set(m);
+      --outstanding;
+    }
+    ++t;
+  }
+  schedule.trim();
+  return schedule;
 }
 
 model::Schedule greedy_completion_schedule(
@@ -33,68 +172,111 @@ model::Schedule greedy_completion_schedule(
     MG_EXPECTS_MSG(known, "a message is known to no processor");
   }
 
-  std::vector<DynamicBitset> state = holds;
-  std::size_t outstanding = 0;
+  // Full completion further requires every component to reach every
+  // message; on a connected graph this follows from the check above.
+  const std::vector<char> live(n, 1);
+  const SurvivorClosure sc = survivor_closure(g, holds, live);
+  for (const auto& closure : sc.closure) {
+    MG_EXPECTS_MSG(closure.count() == message_count,
+                   "disconnected network leaves a message unreachable");
+  }
+
+  return partial_completion_schedule(g, holds, live);
+}
+
+RecoveryOutcome solve_with_recovery(const graph::Graph& g,
+                                    const fault::FaultPlan& plan,
+                                    const RecoveryOptions& options) {
+  RecoveryOutcome out(solve_gossip(g, options.algorithm));
+  const graph::Graph tree = out.base.instance.tree().as_graph();
+  const graph::Vertex n = g.vertex_count();
+  const std::size_t message_count = n;
+
+  // Phase 1: the offline schedule meets the fabric.
+  sim::SimOptions base_options;
+  base_options.faults = &plan;
+  out.faulty_run = sim::simulate(tree, out.base.schedule,
+                                 out.base.instance.initial(), base_options);
+
+  std::vector<DynamicBitset> holds = out.faulty_run.final_holds;
+  std::size_t clock = out.base.schedule.round_count();  // absolute round
+
+  // Phase 2: bounded self-healing.  Each attempt replans a greedy
+  // completion flood on the current survivor graph and executes it under
+  // the continuing fault plan; holds only grow, so attempts converge
+  // toward the achievable closure (or exhaust the budget trying).
+  while (out.attempts < options.max_attempts) {
+    const std::vector<char> alive = plan.alive_at(clock, n);
+    model::Schedule repair = partial_completion_schedule(g, holds, alive);
+    if (repair.round_count() == 0) break;  // achievable closure reached
+
+    if (options.extra_round_budget > 0) {
+      if (out.extra_rounds >= options.extra_round_budget) break;
+      const std::size_t remaining =
+          options.extra_round_budget - out.extra_rounds;
+      if (repair.round_count() > remaining) {
+        model::Schedule truncated;
+        for (std::size_t t = 0; t < remaining; ++t) {
+          for (const auto& tx : repair.round(t)) truncated.add(t, tx);
+        }
+        repair = std::move(truncated);
+      }
+    }
+
+    // The repair must itself be a legal multicast schedule (rules only;
+    // completion is checked on the final state, not per attempt).
+    model::ValidatorOptions validator_options;
+    validator_options.require_completion = false;
+    const auto repair_report = model::validate_schedule_general(
+        g, repair, holds_to_initial_sets(holds), message_count,
+        validator_options);
+    out.repairs_valid = out.repairs_valid && repair_report.ok;
+
+    sim::SimOptions repair_options;
+    if (options.faults_during_recovery) {
+      repair_options.faults = &plan;
+      repair_options.fault_round_offset = clock;
+    }
+    const sim::SimResult run =
+        sim::simulate_from_holds(g, repair, holds, repair_options);
+    holds = run.final_holds;
+
+    const std::size_t repair_rounds = repair.round_count();
+    out.repairs.push_back(std::move(repair));
+    out.extra_rounds += repair_rounds;
+    clock += repair_rounds;
+    ++out.attempts;
+    MG_OBS_ADD("recovery.invocations", 1);
+    MG_OBS_ADD("recovery.extra_rounds", repair_rounds);
+  }
+
+  // Phase 3: the report.  `recovered` compares against the achievable
+  // closure of the final survivor graph; `coverage` is the fraction of
+  // (live processor, message) pairs actually held.
+  const std::vector<char> alive = plan.alive_at(clock, n);
+  const SurvivorClosure sc = survivor_closure(g, holds, alive);
+  out.missing.assign(n, 0);
+  std::size_t live_count = 0;
+  std::size_t held_pairs = 0;
+  out.complete = true;
   for (graph::Vertex v = 0; v < n; ++v) {
-    outstanding += message_count - state[v].count();
-  }
-
-  model::Schedule schedule;
-  std::size_t t = 0;
-  const std::size_t safety_limit = message_count * n + 8;
-  std::vector<char> receiving(n, 0);
-  std::vector<std::pair<graph::Vertex, Message>> arrivals;
-  while (outstanding > 0) {
-    MG_ASSERT_MSG(t < safety_limit, "greedy completion failed to converge");
-    std::fill(receiving.begin(), receiving.end(), 0);
-    arrivals.clear();
-
-    for (graph::Vertex v = 0; v < n; ++v) {
-      // Pick the held message wanted by the most currently-free neighbors.
-      Message best_message = 0;
-      std::vector<graph::Vertex> best_receivers;
-      // Candidate messages: those missing from at least one free neighbor.
-      // Iterate neighbors' missing bits rather than all messages.
-      std::vector<Message> candidates;
-      for (graph::Vertex u : g.neighbors(v)) {
-        if (receiving[u]) continue;
-        for (std::size_t m = 0; m < message_count; ++m) {
-          if (state[v].test(m) && !state[u].test(m)) {
-            candidates.push_back(static_cast<Message>(m));
-          }
-        }
-      }
-      std::sort(candidates.begin(), candidates.end());
-      candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                       candidates.end());
-      for (Message m : candidates) {
-        std::vector<graph::Vertex> receivers;
-        for (graph::Vertex u : g.neighbors(v)) {
-          if (!receiving[u] && !state[u].test(m)) receivers.push_back(u);
-        }
-        if (receivers.size() > best_receivers.size()) {
-          best_receivers = std::move(receivers);
-          best_message = m;
-        }
-      }
-      if (best_receivers.empty()) continue;
-      for (graph::Vertex u : best_receivers) {
-        receiving[u] = 1;
-        arrivals.emplace_back(u, best_message);
-      }
-      schedule.add(t, {best_message, v, std::move(best_receivers)});
+    out.missing[v] = message_count - holds[v].count();
+    if (!alive[v]) {
+      out.crashed.push_back(v);
+      continue;
     }
-
-    MG_ASSERT_MSG(!arrivals.empty(),
-                  "no progress: disconnected network or unknown message");
-    for (const auto& [u, m] : arrivals) {
-      state[u].set(m);
-      --outstanding;
-    }
-    ++t;
+    ++live_count;
+    held_pairs += holds[v].count();
+    if (out.missing[v] != 0) out.complete = false;
   }
-  schedule.trim();
-  return schedule;
+  out.recovered = outstanding_pairs(sc, holds, alive) == 0;
+  out.coverage = live_count == 0
+                     ? 0.0
+                     : static_cast<double>(held_pairs) /
+                           (static_cast<double>(live_count) *
+                            static_cast<double>(message_count));
+  if (live_count == 0) out.complete = false;
+  return out;
 }
 
 }  // namespace mg::gossip

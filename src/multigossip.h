@@ -17,7 +17,8 @@
 //             Hamiltonian search, products, enumeration, I/O
 //   tree/     rooted trees, BFS / minimum-depth spanning trees, DFS labels
 //   model/    schedules, the communication-model validator, statistics
-//   gossip/   the paper's algorithms and extensions
+//   fault/    composable fault plans: drops, crash-stop, per-edge delays
+//   gossip/   the paper's algorithms and extensions, incl. self-healing
 //   mmc/      the multimessage-multicasting generalization
 //   sim/      round-based execution, traces, fault injection, randomized
 //             rumor spreading
@@ -32,6 +33,7 @@
 #include "graph/named.h"             // IWYU pragma: export
 #include "graph/product.h"           // IWYU pragma: export
 #include "graph/properties.h"        // IWYU pragma: export
+#include "fault/fault.h"             // IWYU pragma: export
 #include "gossip/bounded_fanout.h"   // IWYU pragma: export
 #include "gossip/bounds.h"           // IWYU pragma: export
 #include "gossip/collectives.h"      // IWYU pragma: export

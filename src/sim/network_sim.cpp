@@ -8,57 +8,80 @@
 
 namespace mg::sim {
 
-SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
-                   const std::vector<Message>& initial,
-                   const SimOptions& options) {
+namespace {
+
+/// Shared execution core.  `hold` is the time-0 knowledge state (one bitset
+/// of `message_count` bits per node); completion means every node holds all
+/// `message_count` messages.
+SimResult run_simulation(const graph::Graph& g,
+                         const model::Schedule& schedule,
+                         std::vector<DynamicBitset> hold,
+                         std::size_t message_count,
+                         const SimOptions& options) {
   const Vertex n = g.vertex_count();
+  MG_EXPECTS(hold.size() == n);
   SimResult result;
   result.completion_time.assign(n, 0);
   result.missing.assign(n, 0);
 
-  std::vector<Message> origin(initial);
-  if (origin.empty()) {
-    origin.resize(n);
-    for (Vertex v = 0; v < n; ++v) origin[v] = v;
+  // Fault sources: the legacy (round, sender) list folds into an O(1) hash
+  // set — one lookup per scheduled transmission, however many faults the
+  // plan carries — and a FaultPlan supplies the richer models.  Plan
+  // queries use absolute rounds (offset + local round) so recovery runs
+  // experience the same fabric the base run did.
+  fault::DropSet legacy_drops;
+  for (const auto& [round, sender] : options.drop) {
+    legacy_drops.insert(round, sender);
   }
-  MG_EXPECTS(origin.size() == n);
+  const fault::FaultPlan* plan =
+      options.faults != nullptr && !options.faults->empty() ? options.faults
+                                                            : nullptr;
+  const std::size_t offset = options.fault_round_offset;
 
-  std::vector<DynamicBitset> hold(n, DynamicBitset(n));
-  std::vector<std::size_t> known(n, 1);
-  for (Vertex v = 0; v < n; ++v) hold[v].set(origin[v]);
+  std::vector<std::size_t> known(n, 0);
+  std::size_t total_known = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    known[v] = hold[v].count();
+    total_known += known[v];
+  }
 
-  auto dropped = [&](std::size_t t, Vertex sender) {
-    return std::find(options.drop.begin(), options.drop.end(),
-                     std::make_pair(t, sender)) != options.drop.end();
-  };
+  const std::size_t rounds = schedule.round_count();
+  const std::size_t horizon =
+      rounds + (plan != nullptr ? plan->max_extra_delay() : 0);
 
-  std::size_t total_known = n;
-  result.knowledge.push_back(total_known);
-
-  // Deliveries land at t + 1 (receive-before-send): buffer the round's
-  // arrivals and apply them before the next round's sends.
-  std::vector<std::pair<Vertex, Message>> in_flight;
+  // Deliveries land at send round + 1 + edge delay (receive-before-send):
+  // buffer arrivals by time and apply them before that round's sends.
+  std::vector<std::vector<std::pair<Vertex, Message>>> in_flight(horizon + 1);
   auto apply_arrivals = [&](std::size_t receive_time) {
-    for (const auto& [r, m] : in_flight) {
+    for (const auto& [r, m] : in_flight[receive_time]) {
       if (!hold[r].test(m)) {
         hold[r].set(m);
         ++known[r];
         ++total_known;
-        if (known[r] == n) result.completion_time[r] = receive_time;
+        if (known[r] == message_count) {
+          result.completion_time[r] = receive_time;
+        }
       }
     }
-    in_flight.clear();
+    in_flight[receive_time].clear();
   };
 
   std::uint64_t deliveries = 0;
-  std::uint64_t dropped_txs = 0;
-  const std::size_t rounds = schedule.round_count();
+  result.knowledge.push_back(total_known);  // state at time 0
   for (std::size_t t = 0; t < rounds; ++t) {
-    apply_arrivals(t);
-    if (t > 0) result.knowledge.push_back(total_known);  // state at time t
+    if (t > 0) {
+      apply_arrivals(t);
+      result.knowledge.push_back(total_known);  // state at time t
+    }
+    const std::size_t abs_t = offset + t;
     for (const auto& tx : schedule.round(t)) {
-      if (dropped(t, tx.sender)) {
-        ++dropped_txs;
+      if (plan != nullptr && plan->crashed(tx.sender, abs_t)) {
+        ++result.crashed_sends;
+        continue;
+      }
+      if (legacy_drops.contains(t, tx.sender) ||
+          (plan != nullptr && plan->drops(abs_t, tx.sender))) {
+        ++result.injected_drops;
         continue;
       }
       if (!hold[tx.sender].test(tx.message)) {
@@ -78,40 +101,85 @@ SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
              tx.receivers.size()});
       }
       for (Vertex r : tx.receivers) {
-        result.total_time = std::max(result.total_time, t + 1);
+        const std::size_t arrival =
+            t + 1 +
+            (plan != nullptr ? plan->extra_delay(tx.sender, r) : 0);
+        if (plan != nullptr && plan->crashed(r, offset + arrival)) {
+          ++result.lost_receives;  // receiver dead (or dies in flight)
+          continue;
+        }
+        result.total_time = std::max(result.total_time, arrival);
         if (options.record_trace) {
           result.trace.push_back(
-              {SimEvent::Kind::kReceive, t + 1, r, tx.message, tx.sender});
+              {SimEvent::Kind::kReceive, arrival, r, tx.message, tx.sender});
         }
         if (options.sink != nullptr) {
-          options.sink->on_event({"receive", t + 1, r, tx.message, tx.sender,
-                                  0});
+          options.sink->on_event({"receive", arrival, r, tx.message,
+                                  tx.sender, 0});
         }
         ++deliveries;
-        in_flight.emplace_back(r, tx.message);
+        in_flight[arrival].emplace_back(r, tx.message);
       }
     }
   }
-  apply_arrivals(rounds);
-  if (rounds > 0) result.knowledge.push_back(total_known);
+  // Drain: arrivals at and past the last send round (delays can push the
+  // final deliveries past the schedule's own horizon).
+  for (std::size_t t = std::max<std::size_t>(rounds, 1); t <= horizon; ++t) {
+    apply_arrivals(t);
+    result.knowledge.push_back(total_known);  // state at time t
+  }
 
   result.completed = true;
   for (Vertex v = 0; v < n; ++v) {
-    result.missing[v] = n - known[v];
+    result.missing[v] = message_count - known[v];
     if (result.missing[v] != 0) result.completed = false;
   }
   result.final_holds = std::move(hold);
 
   MG_OBS_ADD("sim.runs", 1);
   MG_OBS_ADD("sim.deliveries", deliveries);
-  MG_OBS_ADD("sim.dropped_transmissions", dropped_txs);
+  MG_OBS_ADD("sim.dropped_transmissions", result.injected_drops);
   MG_OBS_ADD("sim.skipped_sends", result.skipped_sends);
+  if (result.injected_drops > 0) {
+    MG_OBS_ADD("fault.injected_drops", result.injected_drops);
+  }
+  if (plan != nullptr && plan->has_crashes()) {
+    MG_OBS_ADD("fault.crashes", plan->crashes_before(offset + rounds));
+  }
   if (result.completed && !result.completion_time.empty()) {
     MG_OBS_ADD("sim.completion_round",
                *std::max_element(result.completion_time.begin(),
                                  result.completion_time.end()));
   }
   return result;
+}
+
+}  // namespace
+
+SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
+                   const std::vector<Message>& initial,
+                   const SimOptions& options) {
+  const Vertex n = g.vertex_count();
+  std::vector<Message> origin(initial);
+  if (origin.empty()) {
+    origin.resize(n);
+    for (Vertex v = 0; v < n; ++v) origin[v] = v;
+  }
+  MG_EXPECTS(origin.size() == n);
+  std::vector<DynamicBitset> hold(n, DynamicBitset(n));
+  for (Vertex v = 0; v < n; ++v) hold[v].set(origin[v]);
+  return run_simulation(g, schedule, std::move(hold), n, options);
+}
+
+SimResult simulate_from_holds(const graph::Graph& g,
+                              const model::Schedule& schedule,
+                              const std::vector<DynamicBitset>& initial_holds,
+                              const SimOptions& options) {
+  const Vertex n = g.vertex_count();
+  MG_EXPECTS(initial_holds.size() == n);
+  const std::size_t message_count = n == 0 ? 0 : initial_holds[0].size();
+  for (const auto& h : initial_holds) MG_EXPECTS(h.size() == message_count);
+  return run_simulation(g, schedule, initial_holds, message_count, options);
 }
 
 }  // namespace mg::sim

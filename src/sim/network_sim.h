@@ -1,14 +1,17 @@
 // Round-based network simulator.  Where the model validator *enforces* the
 // communication rules, the simulator *executes* a schedule and reports what
 // the network observes: per-node knowledge curves, completion times, an
-// event trace, and behaviour under injected transmission faults (a dropped
-// multicast models a failed link/round; gossip completion then degrades,
-// which the fault-injection tests assert).
+// event trace, and behaviour under injected faults.  Faults come from a
+// composable `fault::FaultPlan` (seeded probabilistic link drops,
+// deterministic drop sets, crash-stop processors, per-edge delivery delay);
+// gossip completion then degrades, which the adversarial fault tests
+// assert, and `gossip::solve_with_recovery` repairs.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "graph/graph.h"
 #include "model/schedule.h"
 #include "obs/trace.h"
@@ -24,7 +27,17 @@ struct SimOptions {
   bool record_trace = false;
   /// Transmissions to drop, addressed as (round, sender).  Every matching
   /// transmission is suppressed entirely (no receiver gets the message).
+  /// Folded into an O(1) hash set at simulation start; kept as a vector
+  /// for construction convenience and backward compatibility — richer
+  /// fault models (probabilistic drops, crashes, delays) go in `faults`.
   std::vector<std::pair<std::size_t, Vertex>> drop;
+  /// Composable fault model applied to the run; nullptr = fault-free.
+  const fault::FaultPlan* faults = nullptr;
+  /// Absolute round of this schedule's round 0 from the fault plan's point
+  /// of view.  `solve_with_recovery` sets this so faults keep firing at
+  /// plan-absolute rounds while recovery schedules execute after the base
+  /// schedule's horizon.
+  std::size_t fault_round_offset = 0;
   /// Streaming alternative to record_trace: every send/receive event is
   /// pushed here as it happens ("send" carries the fan-out |D|).  Works
   /// independently of record_trace; nullptr disables streaming.
@@ -41,22 +54,31 @@ struct SimEvent {
 };
 
 struct SimResult {
-  /// True when every node ends holding all n messages.
+  /// True when every node ends holding all messages.
   bool completed = false;
-  /// Latest receive time of a non-dropped transmission.
+  /// Latest receive time of a delivered (non-dropped, non-lost)
+  /// transmission; includes per-edge delay.
   std::size_t total_time = 0;
   /// Per-node earliest time the hold set became complete (0 if never).
   std::vector<std::size_t> completion_time;
-  /// knowledge[t] = total number of (node, message) pairs known at time t,
-  /// from n at t=0 up to n*n on completion; one entry per time unit.
+  /// knowledge[t] = total number of (node, message) pairs known at time t;
+  /// one entry per time unit through the last arrival.
   std::vector<std::size_t> knowledge;
   /// Per-node count of messages still missing at the end.
   std::vector<std::size_t> missing;
   /// Transmissions skipped because the sender did not hold the message —
   /// the downstream cascade of an injected drop.
   std::size_t skipped_sends = 0;
+  /// Transmissions suppressed by the fault model (deterministic +
+  /// probabilistic link drops, including the legacy `drop` list).
+  std::size_t injected_drops = 0;
+  /// Transmissions suppressed because the sender had crashed.
+  std::size_t crashed_sends = 0;
+  /// Point-to-point deliveries lost because the receiver was dead (or died
+  /// in flight) at arrival time.
+  std::size_t lost_receives = 0;
   /// Final per-node hold sets (bit m = node knows message m) — the input
-  /// for gossip::greedy_completion_schedule after a faulty run.
+  /// for gossip recovery after a faulty run.
   std::vector<DynamicBitset> final_holds;
   std::vector<SimEvent> trace;  ///< populated when record_trace
 };
@@ -71,5 +93,15 @@ struct SimResult {
                                  const model::Schedule& schedule,
                                  const std::vector<Message>& initial = {},
                                  const SimOptions& options = {});
+
+/// Same execution semantics, but starting from arbitrary per-node hold
+/// *sets* (`initial_holds[v]` has one bit per message).  This is the form
+/// recovery needs: a repair schedule resumes from the degraded state a
+/// faulty run left behind.  Completion means every node holds all
+/// `initial_holds[0].size()` messages.
+[[nodiscard]] SimResult simulate_from_holds(
+    const graph::Graph& g, const model::Schedule& schedule,
+    const std::vector<DynamicBitset>& initial_holds,
+    const SimOptions& options = {});
 
 }  // namespace mg::sim

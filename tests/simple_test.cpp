@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "gossip/simple.h"
+#include "graph/generators.h"
 #include "graph/named.h"
+#include "support/bitset.h"
+#include "support/rng.h"
 #include "test_util.h"
 #include "tree/spanning_tree.h"
 
@@ -89,6 +92,54 @@ TEST(Simple, WorksOnDeepChain) {
   const auto schedule = simple_gossip(instance);
   test::expect_valid_gossip(instance, schedule);
   EXPECT_EQ(schedule.total_time(), 2u * 31 + 30 - 3);
+}
+
+TEST(Simple, RedundantFinalSlotTrimsAway) {
+  // Regression pin for the PR 1 differential-test finding: Simple's down
+  // phase runs on fixed slots through 2n + r - 3 by definition, so when
+  // the unique deepest leaf carries the last DFS label the final slot
+  // re-delivers a message its receiver already holds.  On this seeded
+  // tree the redundancy is real: every final-round transmission is
+  // removable, Schedule::trim() then drops the emptied round, and the
+  // shorter schedule still completes — strictly under the Lemma 1 time.
+  Rng rng(0xd1ffULL * 45);
+  const auto g = graph::random_tree(5, rng);
+  const auto instance = Instance::from_network(g);
+  const auto schedule = simple_gossip(instance);
+  const std::size_t makespan = schedule.total_time();
+  const std::size_t n = instance.vertex_count();
+  ASSERT_EQ(makespan, simple_total_time(n, instance.radius()));
+  ASSERT_GE(makespan, 1u);
+
+  // Replay knowledge through the next-to-last round.
+  const auto initial = instance.initial();
+  std::vector<DynamicBitset> holds(n, DynamicBitset(n));
+  for (graph::Vertex v = 0; v < n; ++v) holds[v].set(initial[v]);
+  for (std::size_t t = 0; t + 1 < makespan; ++t) {
+    for (const auto& tx : schedule.round(t)) {
+      for (const graph::Vertex r : tx.receivers) holds[r].set(tx.message);
+    }
+  }
+
+  // The pinned finding: the whole final round is redundant.
+  for (const auto& tx : schedule.round(makespan - 1)) {
+    for (const graph::Vertex r : tx.receivers) {
+      EXPECT_TRUE(holds[r].test(tx.message))
+          << "final slot delivers something new; pin is stale";
+    }
+  }
+
+  // Rebuild without it; trim() must remove the emptied trailing round.
+  model::Schedule trimmed(makespan);
+  for (std::size_t t = 0; t + 1 < makespan; ++t) {
+    for (const auto& tx : schedule.round(t)) trimmed.add(t, tx);
+  }
+  EXPECT_EQ(trimmed.round_count(), makespan);
+  trimmed.trim();
+  EXPECT_EQ(trimmed.round_count(), makespan - 1);
+  EXPECT_LT(trimmed.total_time(), makespan);
+  EXPECT_LE(trimmed.total_time(), simple_total_time(n, instance.radius()));
+  test::expect_valid_gossip(instance, trimmed);
 }
 
 TEST(Simple, UnicastUpMulticastDown) {

@@ -5,6 +5,7 @@
 #include "gossip/concurrent_updown.h"
 #include "gossip/simple.h"
 #include "gossip/updown.h"
+#include "graph/generators.h"
 #include "support/rng.h"
 #include "test_util.h"
 #include "tree/spanning_tree.h"
@@ -77,6 +78,31 @@ TEST(UpDown, RandomTreeSweep) {
     ASSERT_TRUE(report.ok) << "seed=" << seed;
     EXPECT_LE(schedule.total_time(),
               2 * static_cast<std::size_t>(n) + instance.radius());
+  }
+}
+
+TEST(UpDown, KnownIssueExceedsPaperBoundOnDenseRandomGraphs) {
+  // Known issue, pinned: on dense seeded G(n, 1/2) networks the greedy
+  // two-phase reconstruction exceeds the paper's n + 3r - 2 two-phase
+  // budget (`updown_time_bound`) — BFS trees of radius 2 leave too little
+  // room for the up phase's greedy slotting, which the paper's analysis
+  // assumes is conflict-free.  The schedules stay valid and complete;
+  // only the time bound slips.  Pin the observed makespans so a future
+  // fix flips EXPECT_GT (good: delete this test) and a regression past
+  // the observed values trips EXPECT_LE.
+  const std::size_t observed[] = {23, 28, 34};
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(0xd1ffULL * (seed + 1));
+    const auto n = static_cast<graph::Vertex>(16 + (seed * 5) % 24);
+    const auto g = graph::random_connected_gnp(n, 0.5, rng);
+    const auto instance = Instance::from_network(g);
+    const auto schedule = updown_gossip(instance);
+    const auto report = test::expect_valid_gossip(instance, schedule);
+    ASSERT_TRUE(report.ok) << "seed=" << seed;
+    const std::size_t time = schedule.total_time();
+    EXPECT_GT(time, updown_time_bound(n, instance.radius()))
+        << "seed=" << seed << ": bound now holds — known issue fixed?";
+    EXPECT_LE(time, observed[seed]) << "seed=" << seed;
   }
 }
 
