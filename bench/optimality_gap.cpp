@@ -72,9 +72,14 @@ int main() {
 
     table.new_row();
     table.cell(static_cast<std::size_t>(n));
-    table.cell(std::to_string(examined) +
-               (stride > 1 ? "/" + std::to_string(graph::labeled_tree_count(n))
-                           : ""));
+    // Built up with += (not operator+ chaining): GCC 12's -Werror=restrict
+    // false-positives on temporary-string concatenation (GCC PR105651).
+    std::string examined_cell = std::to_string(examined);
+    if (stride > 1) {
+      examined_cell += "/";
+      examined_cell += std::to_string(graph::labeled_tree_count(n));
+    }
+    table.cell(std::move(examined_cell));
     table.cell(at_trivial);
     table.cell(gap_histogram[0]);
     table.cell(gap_histogram[1]);

@@ -93,8 +93,13 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> labels;
   for (graph::Vertex v = 0; v < network.vertex_count(); ++v) {
-    labels.push_back("P" + std::to_string(v) + " m" +
-                     std::to_string(sol.instance.labels().label(v)));
+    // Built up with += (not operator+ chaining): GCC 12's -Werror=restrict
+    // false-positives on temporary-string concatenation (GCC PR105651).
+    std::string label = "P";
+    label += std::to_string(v);
+    label += " m";
+    label += std::to_string(sol.instance.labels().label(v));
+    labels.push_back(std::move(label));
   }
   std::printf("spanning tree (DOT):\n%s",
               graph::to_dot(sol.instance.tree().as_graph(), labels).c_str());

@@ -1,0 +1,143 @@
+// Concurrent batch gossip engine (`mg::engine`).
+//
+// The paper's pipeline — minimum-depth spanning tree (n BFS sweeps, O(mn),
+// §3.1) feeding a tree-gossip schedule of n + r rounds (§3.2) — is pure:
+// the same network and algorithm always produce the same schedule.  A
+// gossip-as-a-service workload re-queries the same or near-same topologies
+// constantly, so the engine memoizes whole solves behind a canonical graph
+// fingerprint:
+//
+//  * requests are deduplicated by (`graph_fingerprint(g)`, algorithm);
+//  * repeats are answered from a sharded LRU cache (N mutex-striped
+//    shards) of `shared_ptr<const Result>`, so eviction never invalidates
+//    a result an in-flight reader still holds;
+//  * concurrent identical misses are single-flighted: the first caller
+//    solves, every other caller waits on the same future and is accounted
+//    as a coalesced hit (one solve per distinct cold key, ever);
+//  * `solve_batch` fans a request vector out over the engine's ThreadPool
+//    so independent misses solve concurrently.
+//
+// Accounting identity (asserted by the stress tests): every request is
+// either a hit (cache or coalesced join) or a miss (it executed a solve),
+// so `hits + misses == requests` — no lost and no duplicated solves.
+// Counters and per-request latency are mirrored into `mg::obs` under
+// `engine.*`; `bench/engine_throughput` turns them into BENCH_engine.json.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gossip/solve.h"
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "model/validator.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::engine {
+
+/// Canonical 64-bit fingerprint of a graph's labelled adjacency structure:
+/// a `Fingerprint64` stream of n, then per vertex its degree followed by
+/// its sorted neighbor list.  Because CSR storage is canonical (neighbor
+/// lists sorted, duplicates collapsed at build time), equal graphs always
+/// collide and edge-insertion order never matters.
+[[nodiscard]] std::uint64_t graph_fingerprint(const graph::Graph& g);
+
+/// One solved-and-validated gossip instance, immutable once published.
+struct Result {
+  std::uint64_t fingerprint = 0;
+  gossip::Algorithm algorithm = gossip::Algorithm::kConcurrentUpDown;
+  graph::Vertex vertex_count = 0;             ///< n
+  std::uint32_t radius = 0;                   ///< r (tree height)
+  std::vector<model::Message> initial;        ///< processor -> DFS label
+  model::Schedule schedule;                   ///< message ids are DFS labels
+  model::ValidationReport report;             ///< always validated
+};
+
+using ResultPtr = std::shared_ptr<const Result>;
+
+/// One entry of a `solve_batch` request vector.
+struct Request {
+  graph::Graph graph;
+  gossip::Algorithm algorithm = gossip::Algorithm::kConcurrentUpDown;
+};
+
+struct EngineOptions {
+  /// Total cached schedules across all shards (>= 1); the per-shard LRU
+  /// capacity is ceil(cache_capacity / shards).
+  std::size_t cache_capacity = 1024;
+  /// Mutex stripes (>= 1).  Requests hash to a shard by fingerprint, so
+  /// unrelated graphs contend on different locks.
+  std::size_t shards = 8;
+  /// Worker threads for `solve_batch`; 0 = hardware_concurrency().
+  std::size_t threads = 0;
+};
+
+/// Point-in-time engine counters (monotonic since construction).
+struct EngineStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;        ///< cache hits + coalesced joins
+  std::uint64_t misses = 0;      ///< solves actually executed
+  std::uint64_t evictions = 0;   ///< LRU entries displaced
+  std::uint64_t inflight_coalesced = 0;  ///< subset of hits that joined a
+                                         ///< solve already in flight
+};
+
+/// Thread-safe memoizing gossip solver.  All public members may be called
+/// concurrently from any number of threads.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Solves gossiping on connected network `g` (cached).  Throws whatever
+  /// the underlying solve throws (e.g. ContractViolation on a disconnected
+  /// graph) — failures are never cached, and every coalesced waiter of a
+  /// failed solve sees the same exception.
+  [[nodiscard]] ResultPtr solve(
+      const graph::Graph& g,
+      gossip::Algorithm algorithm = gossip::Algorithm::kConcurrentUpDown);
+
+  /// Solves every request, fanning misses out over the engine's pool;
+  /// results are positionally aligned with `requests`.  If any solve
+  /// throws, the first exception is rethrown after the batch drains.
+  [[nodiscard]] std::vector<ResultPtr> solve_batch(
+      std::span<const Request> requests);
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Entries currently cached (sums the shards; O(shards)).
+  [[nodiscard]] std::size_t cache_size() const;
+
+  /// Drops every cached entry (outstanding ResultPtrs stay valid).
+  void clear_cache();
+
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(std::uint64_t fingerprint) const;
+
+  std::size_t shard_count_;
+  std::size_t shard_capacity_;
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+};
+
+}  // namespace mg::engine

@@ -19,6 +19,8 @@
 //   model/    schedules, the communication-model validator, statistics
 //   fault/    composable fault plans: drops, crash-stop, per-edge delays
 //   gossip/   the paper's algorithms and extensions, incl. self-healing
+//   engine/   concurrent batch solver: sharded LRU schedule cache keyed by
+//             graph fingerprint, single-flight miss coalescing
 //   mmc/      the multimessage-multicasting generalization
 //   sim/      round-based execution, traces, fault injection, randomized
 //             rumor spreading
@@ -33,6 +35,7 @@
 #include "graph/named.h"             // IWYU pragma: export
 #include "graph/product.h"           // IWYU pragma: export
 #include "graph/properties.h"        // IWYU pragma: export
+#include "engine/engine.h"           // IWYU pragma: export
 #include "fault/fault.h"             // IWYU pragma: export
 #include "gossip/bounded_fanout.h"   // IWYU pragma: export
 #include "gossip/bounds.h"           // IWYU pragma: export

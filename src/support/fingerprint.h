@@ -1,0 +1,49 @@
+// Streaming 64-bit structural fingerprints.
+//
+// `Fingerprint64` hashes a sequence of 64-bit words into one digest using
+// the SplitMix64 finalizer as the mixing function.  The digest depends on
+// every word, on each word's *position* in the stream, and on the stream
+// length, so two different canonical encodings practically never collide
+// (the engine's schedule cache keys on these digests; see
+// `engine::graph_fingerprint`, which streams a graph's CSR adjacency
+// structure).  Header-only and allocation-free; not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+namespace mg {
+
+/// Accumulates 64-bit words into a position-dependent 64-bit digest.
+class Fingerprint64 {
+ public:
+  /// Optionally domain-separate streams with a caller-chosen seed.
+  explicit constexpr Fingerprint64(std::uint64_t seed = 0x6d67676f73736970ULL)
+      : state_(mix(seed ^ kGamma)) {}
+
+  /// Feeds one word; order and multiplicity both matter.
+  constexpr void update(std::uint64_t word) {
+    ++count_;
+    state_ = mix(state_ ^ mix(word + count_ * kGamma));
+  }
+
+  /// Digest over everything fed so far (also covers the stream length).
+  [[nodiscard]] constexpr std::uint64_t digest() const {
+    return mix(state_ ^ count_);
+  }
+
+ private:
+  // Weyl constant of SplitMix64 (Steele, Lea & Flood).
+  static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
+  /// SplitMix64 finalizer: bijective on 64-bit words, strong avalanche.
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mg

@@ -4,10 +4,13 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "support/bitset.h"
 #include "support/contracts.h"
+#include "support/fingerprint.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 #include "support/table.h"
@@ -188,6 +191,122 @@ TEST(ThreadPool, SequentialReuse) {
     pool.parallel_for(10, [&](std::size_t) { total++; });
   }
   EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, SingleWorkerCoversAllIndices) {
+  // The degenerate one-thread pool must still run every iteration (the
+  // engine and benches construct pools of exactly this size).
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> hits(500, 0);  // single worker: no data race
+  pool.parallel_for(500, [&](std::size_t i) { hits[i]++; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SingleWorkerZeroTasksIsNoop) {
+  ThreadPool pool(1);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SingleWorkerPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(20,
+                                 [](std::size_t i) {
+                                   if (i == 13) throw std::logic_error("x");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, OneTaskOnManyThreads) {
+  // count < thread_count: only one chunk exists; the rest of the pool
+  // must stay parked and the single index still runs exactly once.
+  ThreadPool pool(8);
+  std::atomic<int> runs{0};
+  std::atomic<std::size_t> seen{1234};
+  pool.parallel_for(1, [&](std::size_t i) {
+    runs++;
+    seen = i;
+  });
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(seen.load(), 0u);
+}
+
+TEST(ThreadPool, EveryChunkThrowingRethrowsExactlyOne) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [](std::size_t i) {
+      throw std::runtime_error("chunk " + std::to_string(i));
+    });
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  // An exception must not poison the pool: workers survive and later
+  // parallel_for calls complete normally.
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(30, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(Fingerprint, DeterministicAcrossInstances) {
+  Fingerprint64 a;
+  Fingerprint64 b;
+  for (std::uint64_t w : {1ULL, 2ULL, 3ULL, 0ULL, 0xffffffffffffffffULL}) {
+    a.update(w);
+    b.update(w);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, OrderAndLengthSensitive) {
+  Fingerprint64 ab;
+  ab.update(1);
+  ab.update(2);
+  Fingerprint64 ba;
+  ba.update(2);
+  ba.update(1);
+  EXPECT_NE(ab.digest(), ba.digest());
+
+  Fingerprint64 a;
+  a.update(1);
+  EXPECT_NE(a.digest(), ab.digest());
+  // Trailing zeros are part of the stream, not absorbed.
+  Fingerprint64 a0;
+  a0.update(1);
+  a0.update(0);
+  EXPECT_NE(a.digest(), a0.digest());
+}
+
+TEST(Fingerprint, SeedSeparatesDomains) {
+  Fingerprint64 a(1);
+  Fingerprint64 b(2);
+  a.update(7);
+  b.update(7);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Fingerprint, NoCollisionsOverStructuredSweep) {
+  // 4096 short structured streams (the shape graph_fingerprint emits):
+  // every digest distinct.  Not a proof, but a strong smoke test of the
+  // mixing quality the schedule cache relies on.
+  std::set<std::uint64_t> digests;
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    for (std::uint64_t d = 0; d < 64; ++d) {
+      Fingerprint64 h;
+      h.update(n);
+      h.update(d);
+      h.update(n * 64 + d);
+      digests.insert(h.digest());
+    }
+  }
+  EXPECT_EQ(digests.size(), 64u * 64u);
 }
 
 TEST(TextTable, RendersAlignedColumns) {

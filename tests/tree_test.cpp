@@ -124,6 +124,39 @@ TEST(MinDepthTree, ParallelConstructionIdentical) {
   EXPECT_EQ(seq.as_graph(), par.as_graph());
 }
 
+TEST(MinDepthTree, ParallelDeterminismPinnedAcross32SeededGraphs) {
+  // Determinism pin for the engine's schedule cache: a cached schedule is
+  // only byte-identical to a fresh solve if the parallel eccentricity
+  // sweep can never drift from the serial one — same root, same parents,
+  // same levels, same height, on every graph.  Pool sizes beyond the
+  // vertex count exercise the empty-chunk edge of the work split.
+  ThreadPool pool4(4);
+  ThreadPool pool1(1);
+  Rng rng(0x7123EEDULL);
+  for (int i = 0; i < 32; ++i) {
+    const auto n = static_cast<graph::Vertex>(rng.range(8, 60));
+    graph::Graph g = (i % 3 == 0)
+                         ? graph::random_tree(n, rng)
+                         : (i % 3 == 1)
+                               ? graph::random_connected_gnp(
+                                     n, 4.0 / static_cast<double>(n), rng)
+                               : graph::random_geometric(n, 0.3, rng);
+    const auto serial = min_depth_spanning_tree(g);
+    for (ThreadPool* pool : {&pool1, &pool4}) {
+      const auto parallel = min_depth_spanning_tree(g, pool);
+      ASSERT_EQ(parallel.vertex_count(), serial.vertex_count());
+      EXPECT_EQ(parallel.root(), serial.root()) << "graph " << i;
+      EXPECT_EQ(parallel.height(), serial.height()) << "graph " << i;
+      for (graph::Vertex v = 0; v < serial.vertex_count(); ++v) {
+        ASSERT_EQ(parallel.parent(v), serial.parent(v))
+            << "graph " << i << " vertex " << v;
+        ASSERT_EQ(parallel.level(v), serial.level(v))
+            << "graph " << i << " vertex " << v;
+      }
+    }
+  }
+}
+
 TEST(MinDepthTree, TreeInputReturnsItsOwnCenter) {
   const auto g = graph::k_ary_tree(15, 2);
   const auto t = min_depth_spanning_tree(g);
