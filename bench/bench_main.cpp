@@ -36,6 +36,7 @@
 #include "graph/named.h"
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 
@@ -198,17 +199,27 @@ int run_suite(const std::string& out_path, bool quick) {
 int run_sanity() {
   obs::Registry& registry = obs::Registry::global();
 
-  // 1. Null-registry behaviour: a disabled run must register nothing.
+  // 1. Null-registry behaviour: a disabled run must register nothing —
+  // counters, timers or histograms — and the span tracer (disabled by
+  // default) must keep zero spans.
   registry.set_enabled(false);
   const auto sol =
       gossip::solve_gossip(graph::cycle(64), gossip::Algorithm::kSimple);
   const obs::Snapshot disabled_snap = registry.snapshot();
   if (!sol.report.ok || !disabled_snap.counters.empty() ||
-      !disabled_snap.timers.empty()) {
+      !disabled_snap.timers.empty() || !disabled_snap.histograms.empty()) {
     std::fprintf(stderr,
                  "sanity FAILED: disabled registry accumulated %zu counters, "
-                 "%zu timers\n",
-                 disabled_snap.counters.size(), disabled_snap.timers.size());
+                 "%zu timers, %zu histograms\n",
+                 disabled_snap.counters.size(), disabled_snap.timers.size(),
+                 disabled_snap.histograms.size());
+    return 1;
+  }
+  const obs::SpanTracer& tracer = obs::SpanTracer::global();
+  if (tracer.enabled() || tracer.recorded() != 0) {
+    std::fprintf(stderr,
+                 "sanity FAILED: disabled span tracer recorded %llu spans\n",
+                 static_cast<unsigned long long>(tracer.recorded()));
     return 1;
   }
 
@@ -236,6 +247,44 @@ int run_sanity() {
     std::fprintf(stderr, "sanity FAILED: enabled run recorded %llu of %llu\n",
                  static_cast<unsigned long long>(recorded),
                  static_cast<unsigned long long>(kIters));
+    return 1;
+  }
+
+  // 3. Same cost model for the v2 instruments: histogram record and span.
+  constexpr std::uint64_t kHistIters = 1'000'000;
+  const auto measure_hist = [&] {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < kHistIters; ++i) {
+      MG_OBS_HIST("sanity.hist", i & 0xffff);
+    }
+    return watch.seconds() * 1e9 / static_cast<double>(kHistIters);
+  };
+  registry.set_enabled(false);
+  const double hist_disabled_ns = measure_hist();
+  registry.set_enabled(true);
+  const double hist_enabled_ns = measure_hist();
+  if (compiled_in &&
+      registry.snapshot().histogram("sanity.hist").count != kHistIters) {
+    std::fprintf(stderr, "sanity FAILED: histogram lost records\n");
+    return 1;
+  }
+
+  constexpr std::uint64_t kSpanIters = 200'000;
+  const auto measure_span = [&] {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < kSpanIters; ++i) {
+      MG_OBS_SPAN(sanity_span, "sanity.span");
+    }
+    return watch.seconds() * 1e9 / static_cast<double>(kSpanIters);
+  };
+  const double span_disabled_ns = measure_span();  // tracer off by default
+  std::printf(
+      "obs sanity: histogram disabled=%.1f ns/rec  enabled=%.1f ns/rec  "
+      "span(tracing off)=%.1f ns\n",
+      hist_disabled_ns, hist_enabled_ns, span_disabled_ns);
+  if (tracer.recorded() != 0) {
+    std::fprintf(stderr,
+                 "sanity FAILED: spans recorded while tracing was off\n");
     return 1;
   }
   std::printf("obs sanity: ok\n");

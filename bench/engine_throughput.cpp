@@ -188,6 +188,8 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
   // again (repeated for clock resolution), all hits.
   double cold_rps = 0.0;
   double warm_rps = 0.0;
+  obs::HistogramSnapshot cold_hist;
+  obs::HistogramSnapshot warm_hist;
   {
     engine::Engine eng(engine::EngineOptions{
         .cache_capacity = 4 * k, .shards = 8, .threads = 1});
@@ -196,18 +198,24 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
     for (const auto& [name, g] : universe) {
       once.push_back(engine::Request{g, gossip::Algorithm::kConcurrentUpDown});
     }
+    obs::Registry::global().reset();
     Stopwatch cold_watch;
     const auto cold_results = eng.solve_batch(once);
     cold_rps = static_cast<double>(k) / cold_watch.seconds();
+    cold_hist = obs::Registry::global().snapshot().histogram(
+        "engine.request_ns");
     all_ok = all_ok && check_run(eng, once, cold_results);
 
     const std::size_t reps = 100;
+    obs::Registry::global().reset();
     Stopwatch warm_watch;
     for (std::size_t rep = 0; rep < reps; ++rep) {
       const auto warm_results = eng.solve_batch(once);
       if (rep == 0) all_ok = all_ok && check_run(eng, once, warm_results);
     }
     warm_rps = static_cast<double>(reps * k) / warm_watch.seconds();
+    warm_hist = obs::Registry::global().snapshot().histogram(
+        "engine.request_ns");
     const engine::EngineStats stats = eng.stats();
     if (stats.misses != k) {  // every repeat must be a hit
       std::fprintf(stderr, "engine_throughput: warm pass re-solved\n");
@@ -221,6 +229,12 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
               ">= %.1fx) %s\n",
               warm_rps, cold_rps, warm_over_cold, min_warm,
               warm_ok ? "ok" : "VIOLATION");
+  std::printf("request latency: cold p50=%llu p99=%llu ns, warm p50=%llu "
+              "p99=%llu ns\n",
+              static_cast<unsigned long long>(cold_hist.p50),
+              static_cast<unsigned long long>(cold_hist.p99),
+              static_cast<unsigned long long>(warm_hist.p50),
+              static_cast<unsigned long long>(warm_hist.p99));
 
   // ---- thread scaling over the zipf stream -----------------------------
   struct ScalingRow {
@@ -228,12 +242,14 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
     double rps = 0.0;
     double wall_seconds = 0.0;
     engine::EngineStats stats;
+    obs::HistogramSnapshot request_hist;
   };
   std::vector<ScalingRow> scaling;
   const std::size_t cache_capacity = std::max<std::size_t>(8, k / 2);
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     engine::Engine eng(engine::EngineOptions{
         .cache_capacity = cache_capacity, .shards = 8, .threads = threads});
+    obs::Registry::global().reset();
     Stopwatch watch;
     const auto results = eng.solve_batch(stream);
     ScalingRow row;
@@ -241,6 +257,8 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
     row.wall_seconds = watch.seconds();
     row.rps = static_cast<double>(stream.size()) / row.wall_seconds;
     row.stats = eng.stats();
+    row.request_hist =
+        obs::Registry::global().snapshot().histogram("engine.request_ns");
     all_ok = all_ok && check_run(eng, stream, results);
     scaling.push_back(row);
     std::printf(
@@ -280,6 +298,10 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
   w.key("warm_vs_cold").begin_object();
   w.field("cold_rps", cold_rps);
   w.field("warm_rps", warm_rps);
+  w.field("cold_ns_p50", cold_hist.p50);
+  w.field("cold_ns_p99", cold_hist.p99);
+  w.field("warm_ns_p50", warm_hist.p50);
+  w.field("warm_ns_p99", warm_hist.p99);
   w.field("warm_over_cold", warm_over_cold);
   w.field("min_factor", min_warm);
   w.field("pass", warm_ok);
@@ -295,6 +317,8 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick,
     w.field("misses", row.stats.misses);
     w.field("inflight_coalesced", row.stats.inflight_coalesced);
     w.field("evictions", row.stats.evictions);
+    w.field("request_ns_p50", row.request_hist.p50);
+    w.field("request_ns_p99", row.request_hist.p99);
     w.end_object();
   }
   w.end_array();

@@ -200,6 +200,12 @@ int run(const std::string& out_path, double budget, std::uint64_t seed,
         w.field("recovered", outcome.recovered);
         w.field("repairs_valid", outcome.repairs_valid);
         w.field("wall_ns", wall_ns);
+        // Per-row quantiles from the registry histograms (reset per row):
+        // simulation latency over the base run + every recovery replay.
+        const obs::HistogramSnapshot sim_hist = snap.histogram("sim.run_ns");
+        w.field("sim_runs", sim_hist.count);
+        w.field("sim_ns_p50", sim_hist.p50);
+        w.field("sim_ns_p99", sim_hist.p99);
         w.end_object();
 
         std::printf(

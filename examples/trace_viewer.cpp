@@ -1,0 +1,245 @@
+// Trace viewer: runs one gossip algorithm on a generated network, records
+// both observability timelines this repo produces — the span tracer's
+// wall-clock trace (exported as Chrome trace-event JSON for Perfetto /
+// chrome://tracing) and the round-level gossip timeline (message classes,
+// up/down direction and fault losses per round) — and renders an ASCII
+// round x processor activity map in the terminal.
+//
+//   $ ./trace_viewer                                  # Petersen, ConcurrentUpDown
+//   $ ./trace_viewer --graph cycle:9 --algorithm telephone
+//   $ ./trace_viewer --drop-rate 0.2 --seed 7
+//   $ ./trace_viewer --timeline-out timeline.json --trace-out trace.json
+//
+// For a fault-free ConcurrentUpDown run the viewer also checks Theorem 1:
+// the timeline must span exactly n + r send rounds, and the exit status
+// reports the verdict (CI uses this as the trace-export smoke gate).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "fault/fault.h"
+#include "gossip/solve.h"
+#include "gossip/timeline.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+#include "sim/network_sim.h"
+
+namespace {
+
+using namespace mg;
+
+struct Options {
+  std::string graph = "petersen";
+  gossip::Algorithm algorithm = gossip::Algorithm::kConcurrentUpDown;
+  double drop_rate = 0.0;
+  std::uint64_t seed = 0x5eed;
+  std::string timeline_out;
+  std::string trace_out;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--graph petersen|cycle:N|grid:RxC|hypercube:D]\n"
+      "          [--algorithm simple|updown|concurrent-updown|telephone]\n"
+      "          [--drop-rate P] [--seed N]\n"
+      "          [--timeline-out FILE] [--trace-out FILE]\n",
+      argv0);
+}
+
+graph::Graph make_graph(const std::string& spec) {
+  if (spec == "petersen") return graph::petersen();
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (family == "cycle") {
+    return graph::cycle(static_cast<graph::Vertex>(std::stoul(arg)));
+  }
+  if (family == "grid") {
+    const auto x = arg.find('x');
+    if (x == std::string::npos) throw std::invalid_argument("grid wants RxC");
+    return graph::grid(static_cast<graph::Vertex>(std::stoul(arg.substr(0, x))),
+                       static_cast<graph::Vertex>(std::stoul(arg.substr(x + 1))));
+  }
+  if (family == "hypercube") {
+    return graph::hypercube(static_cast<unsigned>(std::stoul(arg)));
+  }
+  throw std::invalid_argument("unknown graph family '" + family + "'");
+}
+
+gossip::Algorithm parse_algorithm(const std::string& name) {
+  if (name == "simple") return gossip::Algorithm::kSimple;
+  if (name == "updown") return gossip::Algorithm::kUpDown;
+  if (name == "concurrent-updown") return gossip::Algorithm::kConcurrentUpDown;
+  if (name == "telephone") return gossip::Algorithm::kTelephone;
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+/// One character per activity-grid cell.
+char cell_glyph(std::uint8_t flags) {
+  if (flags & gossip::kActivityFault) return '!';
+  const bool send = flags & gossip::kActivitySend;
+  const bool receive = flags & gossip::kActivityReceive;
+  if (send && receive) return 'B';
+  if (send) return 'S';
+  if (receive) return 'r';
+  return '.';
+}
+
+void print_activity_map(const gossip::RoundTimeline& timeline) {
+  const std::size_t time_units = timeline.rounds().size();
+  const graph::Vertex n = timeline.processor_count();
+  std::printf("activity map (rows = processors, cols = time units;\n"
+              "  S send, r receive, B both, ! fault loss, . idle):\n");
+  std::printf("      ");
+  for (std::size_t t = 0; t < time_units; ++t) {
+    std::printf("%c", t % 10 == 0 ? static_cast<char>('0' + (t / 10) % 10)
+                                  : ' ');
+  }
+  std::printf("\n      ");
+  for (std::size_t t = 0; t < time_units; ++t) {
+    std::printf("%c", static_cast<char>('0' + t % 10));
+  }
+  std::printf("\n");
+  for (graph::Vertex v = 0; v < n; ++v) {
+    std::printf("P%-4u ", v);
+    for (std::size_t t = 0; t < time_units; ++t) {
+      std::printf("%c", cell_glyph(timeline.activity(t, v)));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s wants a value\n", flag.c_str());
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (flag == "--graph") {
+        opt.graph = next();
+      } else if (flag == "--algorithm") {
+        opt.algorithm = parse_algorithm(next());
+      } else if (flag == "--drop-rate") {
+        opt.drop_rate = std::stod(next());
+      } else if (flag == "--seed") {
+        opt.seed = std::stoull(next());
+      } else if (flag == "--timeline-out") {
+        opt.timeline_out = next();
+      } else if (flag == "--trace-out") {
+        opt.trace_out = next();
+      } else {
+        usage(argv[0]);
+        return flag == "--help" ? 0 : 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad value for %s: %s\n", flag.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  graph::Graph network(0);
+  try {
+    network = make_graph(opt.graph);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--graph %s: %s\n", opt.graph.c_str(), e.what());
+    return 2;
+  }
+
+  // Opt into span tracing for this run; everything solve_gossip and
+  // simulate touch (tree build, algorithm, validation, the sim itself)
+  // lands in the global tracer.
+  obs::SpanTracer& tracer = obs::SpanTracer::global();
+  tracer.set_enabled(true);
+
+  const auto sol = gossip::solve_gossip(network, opt.algorithm);
+  const graph::Vertex n = sol.instance.vertex_count();
+  const std::uint32_t r = sol.instance.radius();
+
+  gossip::RoundTimeline timeline(sol.instance);
+  fault::FaultPlan plan;
+  sim::SimOptions sim_options;
+  sim_options.sink = &timeline;
+  if (opt.drop_rate > 0.0) {
+    plan.drop_rate(opt.drop_rate).seed(opt.seed);
+    sim_options.faults = &plan;
+  }
+  const sim::SimResult run =
+      sim::simulate(sol.instance.tree().as_graph(), sol.schedule,
+                    sol.instance.initial(), sim_options);
+  tracer.set_enabled(false);
+
+  std::printf("algorithm: %s on %s (n = %u, radius r = %u)\n",
+              gossip::algorithm_name(opt.algorithm).c_str(),
+              opt.graph.c_str(), n, r);
+  std::printf("validation: %s\n",
+              sol.report.ok ? "OK" : sol.report.error.c_str());
+  std::printf("simulation: %s, total time %zu\n",
+              run.completed ? "completed" : "incomplete", run.total_time);
+  if (opt.drop_rate > 0.0) {
+    std::printf("faults: drop rate %.3f seed %llu -> %zu drops, "
+                "%zu skipped, %zu lost\n",
+                opt.drop_rate, static_cast<unsigned long long>(opt.seed),
+                run.injected_drops, run.skipped_sends, run.lost_receives);
+  }
+  std::printf("timeline: %zu send rounds over %zu time units (n + r = %u)\n",
+              timeline.send_rounds(), timeline.rounds().size(), n + r);
+
+  const auto overlap = timeline.phase_overlap();
+  std::printf("up/down overlap: %zu up rounds, %zu down rounds, "
+              "%zu overlapped, %zu with any delivery\n\n",
+              overlap.up_rounds, overlap.down_rounds, overlap.overlap_rounds,
+              overlap.total_rounds);
+
+  print_activity_map(timeline);
+
+  if (!opt.timeline_out.empty()) {
+    std::ofstream out(opt.timeline_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.timeline_out.c_str());
+      return 2;
+    }
+    timeline.write_json(out);
+    std::printf("\nround timeline written to %s\n", opt.timeline_out.c_str());
+  }
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.trace_out.c_str());
+      return 2;
+    }
+    obs::write_chrome_trace(out, tracer);
+    std::printf("chrome trace (%llu spans, %llu dropped) written to %s -- "
+                "load it at ui.perfetto.dev or chrome://tracing\n",
+                static_cast<unsigned long long>(tracer.recorded()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                opt.trace_out.c_str());
+  }
+
+  // Theorem 1 gate: a fault-free ConcurrentUpDown timeline spans exactly
+  // n + r rounds.  CI runs the viewer on the Petersen graph and relies on
+  // this exit status.
+  if (opt.algorithm == gossip::Algorithm::kConcurrentUpDown &&
+      opt.drop_rate == 0.0) {
+    if (timeline.send_rounds() != static_cast<std::size_t>(n) + r) {
+      std::fprintf(stderr,
+                   "FAIL: expected n + r = %u send rounds, timeline has %zu\n",
+                   n + r, timeline.send_rounds());
+      return 1;
+    }
+    std::printf("\nTheorem 1 check: timeline spans exactly n + r rounds\n");
+  }
+  return sol.report.ok && run.completed ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/fingerprint.h"
 #include "support/thread_pool.h"
@@ -91,7 +92,8 @@ Engine::Shard& Engine::shard_for(std::uint64_t fingerprint) const {
 }
 
 ResultPtr Engine::solve(const graph::Graph& g, gossip::Algorithm algorithm) {
-  MG_OBS_SCOPE_TIMER(request_span, "engine.request_ns");
+  MG_OBS_SCOPE_TIMER(request_timer, "engine.request_ns");
+  MG_OBS_SCOPE_HIST(request_hist, "engine.request_ns");
   requests_.fetch_add(1, std::memory_order_relaxed);
   MG_OBS_ADD("engine.requests", 1);
 
@@ -106,6 +108,7 @@ ResultPtr Engine::solve(const graph::Graph& g, gossip::Algorithm algorithm) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (const auto hit = shard.entries.find(key);
         hit != shard.entries.end()) {
+      MG_OBS_SPAN(hit_span, "engine.hit");
       shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
       hits_.fetch_add(1, std::memory_order_relaxed);
       MG_OBS_ADD("engine.cache.hits", 1);
@@ -127,10 +130,17 @@ ResultPtr Engine::solve(const graph::Graph& g, gossip::Algorithm algorithm) {
       MG_OBS_ADD("engine.cache.misses", 1);
     }
   }
-  if (!winner) return future.get();  // rethrows the winner's exception
+  if (!winner) {
+    // Blocking on another thread's in-flight solve: visible as a wait span.
+    MG_OBS_SPAN(wait_span, "engine.wait.single_flight");
+    return future.get();  // rethrows the winner's exception
+  }
 
   try {
-    ResultPtr result = compute(g, fingerprint, algorithm);
+    ResultPtr result = [&] {
+      MG_OBS_SPAN(miss_span, "engine.miss.solve");
+      return compute(g, fingerprint, algorithm);
+    }();
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       // Publish to the cache and retire the flight atomically, so every

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
@@ -181,6 +182,7 @@ Schedule propagate_down(const Instance& instance) {
 
 Schedule concurrent_updown(const Instance& instance,
                            const ConcurrentUpDownOptions& options) {
+  MG_OBS_SPAN(algo_span, "gossip.concurrent_updown");
   return merge_events(up_events(instance, options), down_events(instance));
 }
 

@@ -5,6 +5,7 @@
 
 #include "model/validator.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
@@ -206,6 +207,8 @@ RecoveryOutcome solve_with_recovery(const graph::Graph& g,
   // the continuing fault plan; holds only grow, so attempts converge
   // toward the achievable closure (or exhaust the budget trying).
   while (out.attempts < options.max_attempts) {
+    MG_OBS_SPAN(attempt_span, "recovery.attempt");
+    MG_OBS_SCOPE_HIST(attempt_hist, "recovery.attempt_ns");
     const std::vector<char> alive = plan.alive_at(clock, n);
     model::Schedule repair = partial_completion_schedule(g, holds, alive);
     if (repair.round_count() == 0) break;  // achievable closure reached

@@ -1,10 +1,12 @@
 #include "gossip/simple.h"
 
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
 
 model::Schedule simple_gossip(const Instance& instance) {
+  MG_OBS_SPAN(algo_span, "gossip.simple");
   const auto& tree = instance.tree();
   const auto& labels = instance.labels();
   const graph::Vertex n = tree.vertex_count();

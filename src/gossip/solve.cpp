@@ -5,6 +5,7 @@
 #include "gossip/telephone.h"
 #include "gossip/updown.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
@@ -41,10 +42,12 @@ model::Schedule run_algorithm(const Instance& instance, Algorithm algorithm) {
 
 Solution solve_gossip(const graph::Graph& g, Algorithm algorithm,
                       ThreadPool* pool) {
+  MG_OBS_SPAN(solve_span, "gossip.solve_gossip");
+  MG_OBS_SCOPE_HIST(solve_hist, "gossip.solve_ns");
 #if MG_OBS_ENABLED
   const std::string name = algorithm_name(algorithm);
   MG_OBS_ADD("gossip." + name + ".runs", 1);
-  MG_OBS_SCOPE_TIMER(solve_span, "gossip." + name + ".solve_ns");
+  MG_OBS_SCOPE_TIMER(solve_timer, "gossip." + name + ".solve_ns");
 #endif
   Instance instance = [&] {
     MG_OBS_SCOPE_TIMER(build_span, "gossip.phase.build_instance_ns");

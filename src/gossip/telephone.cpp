@@ -1,11 +1,13 @@
 #include "gossip/telephone.h"
 
 #include "gossip/bounded_fanout.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 
 namespace mg::gossip {
 
 model::Schedule telephone_gossip(const Instance& instance) {
+  MG_OBS_SPAN(algo_span, "gossip.telephone");
   // The telephone model is the fanout-1 case of the greedy up/down engine:
   // the up phase is unicast by construction and every downward relay is
   // capped at a single receiver.

@@ -1,0 +1,190 @@
+#include "gossip/timeline.h"
+
+#include <ostream>
+
+#include "gossip/classification.h"
+#include "support/contracts.h"
+
+namespace mg::gossip {
+
+namespace {
+
+/// Sends suppressed by a fault still occupied their scheduled round.
+std::uint64_t scheduled_sends(const RoundTally& tally) {
+  return tally.sends + tally.drops + tally.crashed + tally.skipped;
+}
+
+}  // namespace
+
+RoundTimeline::RoundTimeline(const Instance& instance)
+    : instance_(&instance), n_(instance.vertex_count()) {}
+
+RoundTally& RoundTimeline::tally_at(std::size_t t) {
+  if (t >= rounds_.size()) {
+    rounds_.resize(t + 1);
+    grid_.resize((t + 1) * static_cast<std::size_t>(n_), 0);
+  }
+  return rounds_[t];
+}
+
+std::uint8_t& RoundTimeline::cell_at(std::size_t t, Vertex v) {
+  tally_at(t);  // grow both
+  return grid_[t * static_cast<std::size_t>(n_) + v];
+}
+
+std::uint8_t RoundTimeline::activity(std::size_t t, Vertex v) const {
+  if (t >= rounds_.size() || v >= n_) return 0;
+  return grid_[t * static_cast<std::size_t>(n_) + v];
+}
+
+void RoundTimeline::on_event(const obs::TraceEvent& event) {
+  const auto t = static_cast<std::size_t>(event.time);
+  const auto node = static_cast<Vertex>(event.node);
+  MG_EXPECTS(node < n_);
+  RoundTally& tally = tally_at(t);
+  const tree::RootedTree& tree = instance_->tree();
+  const tree::DfsLabeling& labels = instance_->labels();
+
+  if (event.kind == "send") {
+    ++tally.sends;
+    cell_at(t, node) |= kActivitySend;
+    const auto m = static_cast<tree::Label>(event.message);
+    switch (classify(labels, node, m)) {
+      case Role::kStart:
+        ++tally.s_sends;
+        break;
+      case Role::kLookahead:
+        ++tally.l_sends;
+        break;
+      case Role::kRemaining:
+        ++tally.r_sends;
+        break;
+      case Role::kOther:
+        ++tally.o_sends;
+        break;
+    }
+    // lip/rip partition the sender's own b-messages w.r.t. its parent.
+    if (!tree.is_root(node) && labels.is_body(node, m)) {
+      if (is_lip(tree, labels, node, m)) {
+        ++tally.lip_sends;
+      } else if (is_rip(tree, labels, node, m)) {
+        ++tally.rip_sends;
+      }
+    }
+    return;
+  }
+  if (event.kind == "receive") {
+    ++tally.receives;
+    cell_at(t, node) |= kActivityReceive;
+    const auto sender = static_cast<Vertex>(event.peer);
+    // Direction on the tree: toward the root (receiver is the sender's
+    // parent) or away from it (receiver is a child of the sender).
+    if (!tree.is_root(sender) && tree.parent(sender) == node) {
+      ++tally.up;
+    } else if (!tree.is_root(node) && tree.parent(node) == sender) {
+      ++tally.down;
+    }
+    return;
+  }
+  if (event.kind == "drop") {
+    ++tally.drops;
+  } else if (event.kind == "crash") {
+    ++tally.crashed;
+  } else if (event.kind == "skip") {
+    ++tally.skipped;
+  } else if (event.kind == "lost") {
+    ++tally.lost;
+  } else {
+    return;  // unknown producer-defined kind: ignore
+  }
+  cell_at(t, node) |= kActivityFault;
+}
+
+std::size_t RoundTimeline::send_rounds() const {
+  // The span through the last round that scheduled a transmission — the
+  // timeline's round count even when a fault suppressed the send itself.
+  for (std::size_t t = rounds_.size(); t > 0; --t) {
+    if (scheduled_sends(rounds_[t - 1]) > 0) return t;
+  }
+  return 0;
+}
+
+RoundTimeline::PhaseOverlap RoundTimeline::phase_overlap() const {
+  PhaseOverlap overlap;
+  for (const RoundTally& tally : rounds_) {
+    if (tally.up > 0) ++overlap.up_rounds;
+    if (tally.down > 0) ++overlap.down_rounds;
+    if (tally.up > 0 && tally.down > 0) ++overlap.overlap_rounds;
+    if (tally.receives > 0) ++overlap.total_rounds;
+  }
+  return overlap;
+}
+
+void RoundTimeline::write_json(obs::JsonWriter& w) const {
+  RoundTally totals;
+  for (const RoundTally& tally : rounds_) {
+    totals.sends += tally.sends;
+    totals.receives += tally.receives;
+    totals.drops += tally.drops;
+    totals.crashed += tally.crashed;
+    totals.skipped += tally.skipped;
+    totals.lost += tally.lost;
+  }
+  const PhaseOverlap overlap = phase_overlap();
+
+  w.begin_object();
+  w.field("schema_version", 1);
+  w.field("n", static_cast<std::uint64_t>(n_));
+  w.field("send_rounds", static_cast<std::uint64_t>(send_rounds()));
+  w.field("time_units", static_cast<std::uint64_t>(rounds_.size()));
+  w.key("totals").begin_object();
+  w.field("sends", totals.sends);
+  w.field("receives", totals.receives);
+  w.field("drops", totals.drops);
+  w.field("crashed", totals.crashed);
+  w.field("skipped", totals.skipped);
+  w.field("lost", totals.lost);
+  w.end_object();
+  w.key("overlap").begin_object();
+  w.field("up_rounds", static_cast<std::uint64_t>(overlap.up_rounds));
+  w.field("down_rounds", static_cast<std::uint64_t>(overlap.down_rounds));
+  w.field("overlap_rounds",
+          static_cast<std::uint64_t>(overlap.overlap_rounds));
+  w.field("total_rounds", static_cast<std::uint64_t>(overlap.total_rounds));
+  w.end_object();
+  w.key("rounds").begin_array();
+  for (std::size_t t = 0; t < rounds_.size(); ++t) {
+    const RoundTally& tally = rounds_[t];
+    w.begin_object();
+    w.field("t", static_cast<std::uint64_t>(t));
+    w.field("sends", tally.sends);
+    w.field("receives", tally.receives);
+    w.key("classes").begin_object();
+    w.field("s", tally.s_sends);
+    w.field("l", tally.l_sends);
+    w.field("r", tally.r_sends);
+    w.field("o", tally.o_sends);
+    w.field("lip", tally.lip_sends);
+    w.field("rip", tally.rip_sends);
+    w.end_object();
+    w.field("up", tally.up);
+    w.field("down", tally.down);
+    w.key("faults").begin_object();
+    w.field("drops", tally.drops);
+    w.field("crashed", tally.crashed);
+    w.field("skipped", tally.skipped);
+    w.field("lost", tally.lost);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void RoundTimeline::write_json(std::ostream& out) const {
+  obs::JsonWriter w(out);
+  write_json(w);
+  out << '\n';
+}
+
+}  // namespace mg::gossip

@@ -1,0 +1,118 @@
+// Round-level gossip timeline profiler.
+//
+// `RoundTimeline` is an `obs::TraceSink` that folds the simulator's event
+// stream into one tally per time unit, interpreted through the instance's
+// tree and DFS labeling so every send is attributed to the paper's §3.2
+// message taxonomy:
+//
+//  * sender-relative class of the transmitted message — s (the sender's
+//    own start message), l (lookahead i+1), r (remaining i+2..j) or
+//    o (originating outside the sender's subtree);
+//  * parent-relative class — lip / rip — for non-root senders moving a
+//    message of their own subtree;
+//  * delivery direction on the tree — up (receiver is the sender's
+//    parent) or down (receiver is a child) — which is what makes the
+//    ConcurrentUpDown phase overlap (Theorem 1's n + r) visible round by
+//    round;
+//  * fault losses per round: injected drops, crashed senders, skipped
+//    sends (the drop cascade) and deliveries lost to dead receivers.
+//
+// It also keeps a round × processor activity grid (send / receive / fault
+// flags per cell) for the ASCII map `examples/trace_viewer` renders, and
+// exports everything as a machine-readable timeline JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "gossip/instance.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace mg::gossip {
+
+using tree::Vertex;
+
+/// Per-time-unit tallies.  Sends (and their classes, and fault losses) are
+/// indexed by the round the transmission was scheduled in; receives (and
+/// their up/down direction) by the time unit the delivery arrived.
+struct RoundTally {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  // Sender-relative class of each sent message (sums to `sends`).
+  std::uint64_t s_sends = 0;
+  std::uint64_t l_sends = 0;
+  std::uint64_t r_sends = 0;
+  std::uint64_t o_sends = 0;
+  // Parent-relative class (non-root senders of own-subtree messages only).
+  std::uint64_t lip_sends = 0;
+  std::uint64_t rip_sends = 0;
+  // Tree direction of each delivery (up + down == receives on a tree).
+  std::uint64_t up = 0;
+  std::uint64_t down = 0;
+  // Fault losses attributed to this round.
+  std::uint64_t drops = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t lost = 0;
+};
+
+/// Activity-grid cell flags (bitwise-or'd).
+enum : std::uint8_t {
+  kActivitySend = 1,
+  kActivityReceive = 2,
+  kActivityFault = 4,
+};
+
+class RoundTimeline final : public obs::TraceSink {
+ public:
+  /// Interprets events against `instance` (kept by reference — it must
+  /// outlive the sink).  Pass the same instance whose schedule you are
+  /// simulating; message ids in the event stream are its DFS labels.
+  explicit RoundTimeline(const Instance& instance);
+
+  void on_event(const obs::TraceEvent& event) override;
+
+  /// One tally per time unit, index 0 .. latest time observed.
+  [[nodiscard]] const std::vector<RoundTally>& rounds() const {
+    return rounds_;
+  }
+
+  /// Number of rounds that scheduled at least one send — the timeline's
+  /// round count (n + r for a fault-free ConcurrentUpDown run, Theorem 1).
+  [[nodiscard]] std::size_t send_rounds() const;
+
+  /// Activity flags of processor `v` at time `t` (0 when out of range).
+  [[nodiscard]] std::uint8_t activity(std::size_t t, Vertex v) const;
+
+  [[nodiscard]] Vertex processor_count() const { return n_; }
+
+  /// Up/down phase structure over the delivery timeline.
+  struct PhaseOverlap {
+    std::size_t up_rounds = 0;       ///< time units with an up delivery
+    std::size_t down_rounds = 0;     ///< time units with a down delivery
+    std::size_t overlap_rounds = 0;  ///< time units with both
+    std::size_t total_rounds = 0;    ///< time units with any delivery
+  };
+  [[nodiscard]] PhaseOverlap phase_overlap() const;
+
+  /// Writes the timeline as one JSON object value:
+  /// {schema_version, n, send_rounds, time_units, totals{...},
+  ///  overlap{...}, rounds:[{t, sends, receives, classes{s,l,r,o,lip,rip},
+  ///  up, down, faults{drops,crashed,skipped,lost}}, ...]}.
+  /// Usable nested (after writer.key(...)) or as a document root.
+  void write_json(obs::JsonWriter& w) const;
+  void write_json(std::ostream& out) const;
+
+ private:
+  RoundTally& tally_at(std::size_t t);
+  std::uint8_t& cell_at(std::size_t t, Vertex v);
+
+  const Instance* instance_;
+  Vertex n_;
+  std::vector<RoundTally> rounds_;
+  std::vector<std::uint8_t> grid_;  // rounds_.size() x n_, row-major
+};
+
+}  // namespace mg::gossip

@@ -1,10 +1,12 @@
 #include "gossip/updown.h"
 
 #include "gossip/bounded_fanout.h"
+#include "obs/span.h"
 
 namespace mg::gossip {
 
 model::Schedule updown_gossip(const Instance& instance) {
+  MG_OBS_SPAN(algo_span, "gossip.updown");
   // The two-phase UpDown reconstruction is the unlimited-fanout case of the
   // greedy up/down engine (see bounded_fanout.h for the mechanics).
   return bounded_fanout_gossip(instance, kUnboundedFanout);

@@ -141,7 +141,9 @@ JsonWriter& JsonWriter::value(std::int64_t v) {
 }
 
 JsonWriter& JsonWriter::value(double v) {
-  MG_EXPECTS_MSG(std::isfinite(v), "JSON cannot represent NaN/Inf");
+  // JSON has no NaN/Inf tokens; emit null rather than an invalid document
+  // (a 0/0 ratio in a bench row must not corrupt the whole artifact).
+  if (!std::isfinite(v)) return null();
   before_value(false);
   std::array<char, 32> buf{};
   std::snprintf(buf.data(), buf.size(), "%.17g", v);

@@ -39,6 +39,8 @@ class JsonWriter {
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  /// Non-finite doubles (NaN, ±Inf) are emitted as null — JSON has no
+  /// tokens for them and an aborted artifact would be worse.
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
   JsonWriter& null();

@@ -15,6 +15,13 @@ std::uint64_t Snapshot::counter(std::string_view name) const {
   return it == counters.end() ? 0 : it->second;
 }
 
+HistogramSnapshot Snapshot::histogram(std::string_view name) const {
+  const auto it = std::find_if(
+      histograms.begin(), histograms.end(),
+      [&](const auto& entry) { return entry.first == name; });
+  return it == histograms.end() ? HistogramSnapshot{} : it->second;
+}
+
 Registry& Registry::global() {
   static Registry instance;
   return instance;
@@ -38,12 +45,23 @@ Timer& Registry::timer(std::string_view name) {
               .first->second;
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  if (!enabled()) return scratch_histogram_;
+  const std::scoped_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
 void Registry::reset() {
   const std::scoped_lock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, t] : timers_) t->reset();
+  for (auto& [name, h] : histograms_) h->reset();
   scratch_counter_.reset();
   scratch_timer_.reset();
+  scratch_histogram_.reset();
 }
 
 Snapshot Registry::snapshot() const {
@@ -56,6 +74,10 @@ Snapshot Registry::snapshot() const {
   snap.timers.reserve(timers_.size());
   for (const auto& [name, t] : timers_) {
     snap.timers.emplace_back(name, TimerSnapshot{t->total_ns(), t->count()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
   }
   return snap;
 }
@@ -72,6 +94,19 @@ void Registry::write_json(std::ostream& out) const {
     w.key(name).begin_object();
     w.field("total_ns", t.total_ns);
     w.field("count", t.count);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.p50);
+    w.field("p90", h.p90);
+    w.field("p99", h.p99);
     w.end_object();
   }
   w.end_object();

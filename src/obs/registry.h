@@ -37,9 +37,13 @@ struct TimerSnapshot {
 struct Snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, TimerSnapshot>> timers;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
 
   /// Value of a counter by exact name (0 when absent).
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Summary of a histogram by exact name (all-zero when absent).
+  [[nodiscard]] HistogramSnapshot histogram(std::string_view name) const;
 };
 
 class Registry {
@@ -64,6 +68,7 @@ class Registry {
   /// live as long as the registry (reset() zeroes values, never removes).
   Counter& counter(std::string_view name);
   Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Zeroes every registered metric (names stay registered).
   void reset();
@@ -71,7 +76,8 @@ class Registry {
   [[nodiscard]] Snapshot snapshot() const;
 
   /// Writes the snapshot as a JSON object
-  /// {"counters": {...}, "timers": {name: {"total_ns": .., "count": ..}}}.
+  /// {"counters": {...}, "timers": {name: {"total_ns": .., "count": ..}},
+  ///  "histograms": {name: {"count": .., "p50": .., "p99": .., ...}}}.
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string to_json() const;
 
@@ -80,8 +86,10 @@ class Registry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   Counter scratch_counter_;  // sink while disabled
   Timer scratch_timer_;
+  Histogram scratch_histogram_;
 };
 
 }  // namespace mg::obs
@@ -100,7 +108,16 @@ class Registry {
 /// guard object (must be unique in the scope).
 #define MG_OBS_SCOPE_TIMER(var, name) \
   ::mg::obs::ScopeTimer var(::mg::obs::Registry::global().timer(name))
+/// Records `value` into the named global histogram.
+#define MG_OBS_HIST(name, value) \
+  ::mg::obs::Registry::global().histogram(name).record(value)
+/// Times the enclosing scope (ns) into the named global histogram — the
+/// quantile-capturing sibling of MG_OBS_SCOPE_TIMER.
+#define MG_OBS_SCOPE_HIST(var, name) \
+  ::mg::obs::ScopeHist var(::mg::obs::Registry::global().histogram(name))
 #else
 #define MG_OBS_ADD(name, delta) ((void)0)
 #define MG_OBS_SCOPE_TIMER(var, name) ((void)0)
+#define MG_OBS_HIST(name, value) ((void)0)
+#define MG_OBS_SCOPE_HIST(var, name) ((void)0)
 #endif

@@ -16,12 +16,16 @@
 namespace mg::obs {
 
 struct TraceEvent {
-  std::string_view kind;      ///< "send" or "receive" (producer-defined)
+  /// Producer-defined kind.  sim::simulate emits "send" and "receive",
+  /// plus one event per fault loss: "drop" (link drop suppressed the
+  /// send), "crash" (sender dead), "skip" (sender never held the message)
+  /// and "lost" (receiver dead at arrival).
+  std::string_view kind;
   std::uint64_t time = 0;     ///< round / time unit
   std::uint64_t node = 0;     ///< acting processor
   std::uint64_t message = 0;  ///< message id
   std::uint64_t peer = 0;     ///< first receiver for sends; sender otherwise
-  std::uint64_t fanout = 0;   ///< |D| for sends; 0 otherwise
+  std::uint64_t fanout = 0;   ///< |D| for send-like kinds; 0 otherwise
 };
 
 class TraceSink {

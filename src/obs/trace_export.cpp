@@ -1,0 +1,40 @@
+#include "obs/trace_export.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace mg::obs {
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanTracer::Span>& spans,
+                        bool pretty) {
+  JsonWriter w(out, pretty);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const SpanTracer::Span& span : spans) {
+    w.begin_object();
+    w.field("name", span.name);
+    w.field("cat", "mg");
+    w.field("ph", "X");  // complete event: ts + dur
+    w.field("ts", static_cast<double>(span.start_ns) / 1e3);
+    w.field("dur", static_cast<double>(span.end_ns - span.start_ns) / 1e3);
+    w.field("pid", 1);
+    w.field("tid", static_cast<std::uint64_t>(span.thread));
+    w.key("args").begin_object();
+    w.field("depth", static_cast<std::uint64_t>(span.depth));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  out << '\n';
+}
+
+void write_chrome_trace(std::ostream& out, const SpanTracer& tracer,
+                        bool pretty) {
+  write_chrome_trace(out, tracer.snapshot(), pretty);
+}
+
+}  // namespace mg::obs

@@ -1,0 +1,28 @@
+// Chrome trace-event export for SpanTracer.
+//
+// Writes the "JSON Object Format" of the Trace Event spec — a single
+// object with a `traceEvents` array of complete ("ph":"X") events — which
+// chrome://tracing and Perfetto (ui.perfetto.dev → "Open trace file") load
+// directly.  Timestamps are microseconds (double) in the tracer's own
+// monotonic timebase; every span carries its thread lane and nesting depth
+// (as an arg), so the rendered timeline shows the same bracketing the
+// ScopeSpan guards produced.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace mg::obs {
+
+/// Writes `spans` as one Chrome-trace JSON document.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanTracer::Span>& spans,
+                        bool pretty = true);
+
+/// Snapshot + export shorthand for a whole tracer.
+void write_chrome_trace(std::ostream& out, const SpanTracer& tracer,
+                        bool pretty = true);
+
+}  // namespace mg::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/bitset.h"
 #include "support/contracts.h"
 
@@ -18,6 +19,8 @@ SimResult run_simulation(const graph::Graph& g,
                          std::vector<DynamicBitset> hold,
                          std::size_t message_count,
                          const SimOptions& options) {
+  MG_OBS_SPAN(sim_span, "sim.simulate");
+  MG_OBS_SCOPE_HIST(sim_hist, "sim.run_ns");
   const Vertex n = g.vertex_count();
   MG_EXPECTS(hold.size() == n);
   SimResult result;
@@ -75,30 +78,40 @@ SimResult run_simulation(const graph::Graph& g,
     }
     const std::size_t abs_t = offset + t;
     for (const auto& tx : schedule.round(t)) {
+      const Vertex first_receiver =
+          tx.receivers.empty() ? tx.sender : tx.receivers.front();
       if (plan != nullptr && plan->crashed(tx.sender, abs_t)) {
         ++result.crashed_sends;
+        if (options.sink != nullptr) {
+          options.sink->on_event({"crash", t, tx.sender, tx.message,
+                                  first_receiver, tx.receivers.size()});
+        }
         continue;
       }
       if (legacy_drops.contains(t, tx.sender) ||
           (plan != nullptr && plan->drops(abs_t, tx.sender))) {
         ++result.injected_drops;
+        if (options.sink != nullptr) {
+          options.sink->on_event({"drop", t, tx.sender, tx.message,
+                                  first_receiver, tx.receivers.size()});
+        }
         continue;
       }
       if (!hold[tx.sender].test(tx.message)) {
         ++result.skipped_sends;  // fault cascade: nothing to forward
+        if (options.sink != nullptr) {
+          options.sink->on_event({"skip", t, tx.sender, tx.message,
+                                  first_receiver, tx.receivers.size()});
+        }
         continue;
       }
       if (options.record_trace) {
-        result.trace.push_back({SimEvent::Kind::kSend, t, tx.sender,
-                                tx.message,
-                                tx.receivers.empty() ? tx.sender
-                                                     : tx.receivers.front()});
+        result.trace.push_back(
+            {SimEvent::Kind::kSend, t, tx.sender, tx.message, first_receiver});
       }
       if (options.sink != nullptr) {
-        options.sink->on_event(
-            {"send", t, tx.sender, tx.message,
-             tx.receivers.empty() ? tx.sender : tx.receivers.front(),
-             tx.receivers.size()});
+        options.sink->on_event({"send", t, tx.sender, tx.message,
+                                first_receiver, tx.receivers.size()});
       }
       for (Vertex r : tx.receivers) {
         const std::size_t arrival =
@@ -106,6 +119,10 @@ SimResult run_simulation(const graph::Graph& g,
             (plan != nullptr ? plan->extra_delay(tx.sender, r) : 0);
         if (plan != nullptr && plan->crashed(r, offset + arrival)) {
           ++result.lost_receives;  // receiver dead (or dies in flight)
+          if (options.sink != nullptr) {
+            options.sink->on_event(
+                {"lost", arrival, r, tx.message, tx.sender, 0});
+          }
           continue;
         }
         result.total_time = std::max(result.total_time, arrival);

@@ -39,7 +39,12 @@ struct SimOptions {
   /// schedule's horizon.
   std::size_t fault_round_offset = 0;
   /// Streaming alternative to record_trace: every send/receive event is
-  /// pushed here as it happens ("send" carries the fan-out |D|).  Works
+  /// pushed here as it happens ("send" carries the fan-out |D|), and so is
+  /// every fault loss — "drop" (link drop), "crash" (sender dead), "skip"
+  /// (sender never received the message: a drop's downstream cascade) and
+  /// "lost" (receiver dead at arrival).  Fault kinds carry the same fields
+  /// as the send/receive they suppressed, so a round-timeline sink (see
+  /// gossip/timeline.h) can attribute every loss to its round.  Works
   /// independently of record_trace; nullptr disables streaming.
   obs::TraceSink* sink = nullptr;
 };

@@ -4,6 +4,7 @@
 
 #include "graph/properties.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "support/contracts.h"
 #include "support/thread_pool.h"
 
@@ -69,7 +70,8 @@ Graph RootedTree::as_graph() const {
 }
 
 RootedTree bfs_tree(const Graph& g, Vertex root) {
-  MG_OBS_SCOPE_TIMER(bfs_span, "tree.bfs_ns");
+  MG_OBS_SCOPE_TIMER(bfs_timer, "tree.bfs_ns");
+  MG_OBS_SPAN(bfs_span, "tree.bfs");
   const Vertex n = g.vertex_count();
   MG_EXPECTS(root < n);
   std::vector<Vertex> parent(n, graph::kNoVertex);
@@ -103,11 +105,13 @@ RootedTree bfs_tree(const Graph& g, Vertex root) {
 }
 
 RootedTree min_depth_spanning_tree(const Graph& g, ThreadPool* pool) {
-  MG_OBS_SCOPE_TIMER(build_span, "tree.min_depth_build_ns");
+  MG_OBS_SCOPE_TIMER(build_timer, "tree.min_depth_build_ns");
+  MG_OBS_SPAN(build_span, "tree.min_depth_spanning_tree");
   MG_OBS_ADD("tree.min_depth_builds", 1);
   graph::Metrics metrics;
   {
-    MG_OBS_SCOPE_TIMER(center_span, "tree.center_scan_ns");
+    MG_OBS_SCOPE_TIMER(center_timer, "tree.center_scan_ns");
+    MG_OBS_SPAN(center_span, "tree.center_scan");
     metrics = graph::compute_metrics(g, pool);
   }
   RootedTree t = bfs_tree(g, metrics.center);

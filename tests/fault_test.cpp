@@ -233,6 +233,7 @@ TEST(FaultPlan, DelayedForwardingCascades) {
   EXPECT_GT(slow.skipped_sends, 0u);
 }
 
+#if MG_OBS_ENABLED
 TEST(FaultPlan, ObservabilityCountersTrackFaults) {
   obs::Registry& registry = obs::Registry::global();
   registry.set_enabled(true);
@@ -253,6 +254,7 @@ TEST(FaultPlan, ObservabilityCountersTrackFaults) {
   EXPECT_EQ(snap.counter("sim.dropped_transmissions"),
             faulty.injected_drops);
 }
+#endif  // MG_OBS_ENABLED
 
 TEST(FaultPlan, CombinedModelsCompose) {
   // Drops + a crash + a delay in one plan: the simulator applies all

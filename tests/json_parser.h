@@ -1,0 +1,203 @@
+// Minimal recursive-descent JSON parser shared by the test binaries.
+//
+// Per the no-external-dependency rule the repo's JSON emitters are checked
+// by round-tripping through this parser rather than by eyeball.  It covers
+// exactly the grammar obs::JsonWriter can produce: strings (with escape
+// sequences), numbers, bools, null, and nested objects/arrays.  Parse
+// failures surface as gtest failures at the point of the mismatch.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mg::testjson {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue& at(const std::string& k) const {
+    const auto it = object.find(k);
+    EXPECT_NE(it, object.end()) << "missing key " << k;
+    static const JsonValue kNullValue;
+    return it == object.end() ? kNullValue : it->second;
+  }
+  std::uint64_t as_u64() const {
+    EXPECT_EQ(kind, Kind::kNumber);
+    return static_cast<std::uint64_t>(number);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+
+  bool consume_if(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_literal(c == 't');
+    if (c == 'n') {
+      match("null");
+      return {};
+    }
+    return parse_number();
+  }
+
+  void match(std::string_view word) {
+    skip_ws();
+    ASSERT_LE(pos_ + word.size(), text_.size());
+    EXPECT_EQ(text_.substr(pos_, word.size()), word);
+    pos_ += word.size();
+  }
+
+  JsonValue parse_literal(bool value) {
+    match(value ? "true" : "false");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = value;
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number";
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        ADD_FAILURE() << "dangling escape at end of input";
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            ADD_FAILURE() << "truncated \\u escape";
+            return out;
+          }
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+          pos_ += 4;
+          EXPECT_LT(code, 0x80u) << "writer only escapes control chars";
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          ADD_FAILURE() << "unknown escape \\" << esc;
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume_if('}')) return v;
+    do {
+      std::string key = parse_string();
+      expect(':');
+      v.object.emplace(std::move(key), parse_value());
+    } while (consume_if(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume_if(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume_if(','));
+    expect(']');
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mg::testjson

@@ -1,214 +1,35 @@
-// mg::obs unit tests: metric primitives, the registry's runtime null mode,
-// and — per the no-external-dependency rule — a full round-trip of the
-// JSON emitter through a minimal recursive-descent parser defined here, so
+// mg::obs unit tests: metric primitives (counters, timers, histograms),
+// the registry's runtime null mode, the span tracer and its Chrome-trace
+// exporter, and — per the no-external-dependency rule — full round-trips
+// of every JSON emitter through the shared test parser (json_parser.h), so
 // the emitted grammar is checked field-by-field rather than by eyeball.
 #include <gtest/gtest.h>
 
-#include <cctype>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
-#include <map>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gossip/solve.h"
 #include "graph/generators.h"
+#include "json_parser.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "sim/network_sim.h"
 
 namespace mg::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (test-local; strings, numbers, bools, null, nested
-// objects/arrays, escape sequences — exactly what the writer can produce).
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::map<std::string, JsonValue> object;
-  std::vector<JsonValue> array;
-
-  const JsonValue& at(const std::string& k) const {
-    const auto it = object.find(k);
-    EXPECT_NE(it, object.end()) << "missing key " << k;
-    static const JsonValue kNullValue;
-    return it == object.end() ? kNullValue : it->second;
-  }
-  std::uint64_t as_u64() const {
-    EXPECT_EQ(kind, Kind::kNumber);
-    return static_cast<std::uint64_t>(number);
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    EXPECT_EQ(pos_, text_.size()) << "trailing garbage after JSON document";
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-            text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-
-  void expect(char c) {
-    EXPECT_EQ(peek(), c);
-    ++pos_;
-  }
-
-  bool consume_if(char c) {
-    if (peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    if (c == '{') return parse_object();
-    if (c == '[') return parse_array();
-    if (c == '"') {
-      JsonValue v;
-      v.kind = JsonValue::Kind::kString;
-      v.string = parse_string();
-      return v;
-    }
-    if (c == 't' || c == 'f') return parse_literal(c == 't');
-    if (c == 'n') {
-      match("null");
-      return {};
-    }
-    return parse_number();
-  }
-
-  void match(std::string_view word) {
-    skip_ws();
-    ASSERT_LE(pos_ + word.size(), text_.size());
-    EXPECT_EQ(text_.substr(pos_, word.size()), word);
-    pos_ += word.size();
-  }
-
-  JsonValue parse_literal(bool value) {
-    match(value ? "true" : "false");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    v.boolean = value;
-    return v;
-  }
-
-  JsonValue parse_number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    EXPECT_GT(pos_, start) << "expected a number";
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return v;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) {
-        ADD_FAILURE() << "dangling escape at end of input";
-        break;
-      }
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            ADD_FAILURE() << "truncated \\u escape";
-            return out;
-          }
-          const unsigned code = static_cast<unsigned>(
-              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
-          pos_ += 4;
-          EXPECT_LT(code, 0x80u) << "writer only escapes control chars";
-          out += static_cast<char>(code);
-          break;
-        }
-        default:
-          ADD_FAILURE() << "unknown escape \\" << esc;
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (consume_if('}')) return v;
-    do {
-      std::string key = parse_string();
-      expect(':');
-      v.object.emplace(std::move(key), parse_value());
-    } while (consume_if(','));
-    expect('}');
-    return v;
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (consume_if(']')) return v;
-    do {
-      v.array.push_back(parse_value());
-    } while (consume_if(','));
-    expect(']');
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------------------
+using testjson::JsonValue;
+using testjson::Parser;
 
 TEST(Metrics, CounterAndTimerAccumulate) {
   Counter c;
@@ -231,6 +52,122 @@ TEST(Metrics, ScopeTimerRecordsOneSpan) {
   EXPECT_EQ(t.count(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, BucketBoundariesAreExact) {
+  // Values below 2 * kSubBuckets are their own bucket: exact.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_lower_bound(v), v);
+  }
+  // Every bucket's lower bound must map back to that bucket, and the value
+  // just below it to the previous bucket — the boundaries are exact.
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t lo = Histogram::bucket_lower_bound(i);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lower bound of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(lo - 1), i - 1)
+        << "value below bucket " << i;
+  }
+  // Spot-check the log-bucket shape: 8 sub-buckets per octave, <= 12.5%
+  // relative width.
+  EXPECT_EQ(Histogram::bucket_index(16), Histogram::bucket_index(17));
+  EXPECT_NE(Histogram::bucket_index(17), Histogram::bucket_index(18));
+  const std::size_t top =
+      Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_LT(top, Histogram::kBucketCount);
+}
+
+TEST(Histogram, SingleValueQuantilesAreExact) {
+  Histogram h;
+  h.record(12345);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 12345u);
+  EXPECT_EQ(snap.min, 12345u);
+  EXPECT_EQ(snap.max, 12345u);
+  // The quantile comes from a log bucket but is clamped into [min, max],
+  // so a single-value histogram reports that value exactly.
+  EXPECT_EQ(snap.p50, 12345u);
+  EXPECT_EQ(snap.p99, 12345u);
+}
+
+TEST(Histogram, QuantilesOrderAndBound) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_LE(snap.p50, snap.p90);
+  EXPECT_LE(snap.p90, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+  // p50 of uniform 1..1000 is ~500; the log buckets guarantee <= 12.5%
+  // relative error on the bucket bound.
+  EXPECT_GE(snap.p50, 440u);
+  EXPECT_LE(snap.p50, 576u);
+}
+
+TEST(Histogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p50, 0u);
+  EXPECT_EQ(snap.p90, 0u);
+  EXPECT_EQ(snap.p99, 0u);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(t * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const HistogramSnapshot snap = h.snapshot();
+  // Total-count identity: relaxed atomics may not order, but they never
+  // lose an increment.
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  constexpr std::uint64_t n = kThreads * kPerThread;
+  EXPECT_EQ(snap.sum, n * (n - 1) / 2);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, n - 1);
+  EXPECT_LE(snap.p50, snap.p99);
+}
+
+TEST(Histogram, ResetForgetsEverything) {
+  Histogram h;
+  h.record(7);
+  h.record(1 << 20);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  h.record(5);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.min, 5u);
+  EXPECT_EQ(snap.max, 5u);
+}
+
+TEST(Histogram, ScopeHistRecordsOneSample) {
+  Histogram h;
+  { ScopeHist scope(h); }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
 TEST(Registry, NamedMetricsAreStable) {
   Registry r;
   Counter& a = r.counter("a");
@@ -244,19 +181,37 @@ TEST(Registry, NamedMetricsAreStable) {
   EXPECT_EQ(r.snapshot().counters.size(), 1u);
 }
 
+TEST(Registry, NamedHistogramsSnapshotAndReset) {
+  Registry r;
+  Histogram& h = r.histogram("lat");
+  EXPECT_EQ(&r.histogram("lat"), &h);
+  h.record(100);
+  h.record(200);
+  EXPECT_EQ(r.snapshot().histogram("lat").count, 2u);
+  EXPECT_EQ(r.snapshot().histogram("missing").count, 0u);
+  r.reset();
+  EXPECT_EQ(r.snapshot().histogram("lat").count, 0u);
+  EXPECT_EQ(r.snapshot().histograms.size(), 1u);  // name stays registered
+}
+
 TEST(Registry, DisabledRegistryIsNull) {
   Registry r;
   r.set_enabled(false);
   r.counter("ghost").add(99);
   r.timer("ghost_t").record_ns(1);
+  r.histogram("ghost_h").record(7);
   const Snapshot snap = r.snapshot();
   EXPECT_TRUE(snap.counters.empty());
   EXPECT_TRUE(snap.timers.empty());
+  EXPECT_TRUE(snap.histograms.empty());
 
   r.set_enabled(true);
   r.counter("real").add(1);
   EXPECT_EQ(r.snapshot().counter("real"), 1u);
 }
+
+// ---------------------------------------------------------------------------
+// JSON writer
 
 TEST(Json, EscapeCoversControlAndQuotes) {
   EXPECT_EQ(json_escape("plain"), "plain");
@@ -296,12 +251,32 @@ TEST(Json, WriterRoundTripsNestedDocument) {
   EXPECT_TRUE(doc.at("empty_arr").array.empty());
 }
 
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("nan", std::nan(""));
+  w.field("pos_inf", std::numeric_limits<double>::infinity());
+  w.field("neg_inf", -std::numeric_limits<double>::infinity());
+  w.field("finite", 1.5);
+  w.end_object();
+  ASSERT_TRUE(w.done());
+
+  const JsonValue doc = Parser(out.str()).parse();
+  EXPECT_EQ(doc.at("nan").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.at("pos_inf").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.at("neg_inf").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.at("finite").number, 1.5);
+}
+
 TEST(Json, RegistryEmitterRoundTrip) {
   Registry r;
   r.counter("gossip.rounds").add(42);
   r.counter("odd \"name\"\n").add(7);
   r.timer("solve_ns").record_ns(123456);
   r.timer("solve_ns").record_ns(1);
+  r.histogram("lat_ns").record(1000);
+  r.histogram("lat_ns").record(3000);
 
   const JsonValue doc = Parser(r.to_json()).parse();
   ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
@@ -313,7 +288,170 @@ TEST(Json, RegistryEmitterRoundTrip) {
   ASSERT_EQ(timers.object.size(), 1u);
   EXPECT_EQ(timers.at("solve_ns").at("total_ns").as_u64(), 123457u);
   EXPECT_EQ(timers.at("solve_ns").at("count").as_u64(), 2u);
+  const JsonValue& histograms = doc.at("histograms");
+  ASSERT_EQ(histograms.object.size(), 1u);
+  const JsonValue& lat = histograms.at("lat_ns");
+  EXPECT_EQ(lat.at("count").as_u64(), 2u);
+  EXPECT_EQ(lat.at("sum").as_u64(), 4000u);
+  EXPECT_EQ(lat.at("min").as_u64(), 1000u);
+  EXPECT_EQ(lat.at("max").as_u64(), 3000u);
+  EXPECT_LE(lat.at("p50").as_u64(), lat.at("p99").as_u64());
 }
+
+// ---------------------------------------------------------------------------
+// Span tracer
+
+TEST(Span, DisabledTracerRecordsNothing) {
+  SpanTracer tracer(16);
+  ASSERT_FALSE(tracer.enabled());  // opt-in
+  { ScopeSpan s(tracer, "ghost"); }
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(Span, NestedSpansAreBracketedAndMonotonic) {
+  SpanTracer tracer(16);
+  tracer.set_enabled(true);
+  {
+    ScopeSpan outer(tracer, "outer");
+    {
+      ScopeSpan inner(tracer, "inner");
+    }
+    {
+      ScopeSpan sibling(tracer, "sibling");
+    }
+  }
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start; the parent's interval strictly contains each child's.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].depth, 1u);
+    EXPECT_GE(spans[i].start_ns, spans[0].start_ns);
+    EXPECT_LE(spans[i].end_ns, spans[0].end_ns);
+    EXPECT_LE(spans[i].start_ns, spans[i].end_ns);
+    EXPECT_EQ(spans[i].thread, spans[0].thread);
+  }
+  // Siblings do not overlap and appear in order.
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_STREQ(spans[2].name, "sibling");
+  EXPECT_LE(spans[1].end_ns, spans[2].start_ns);
+}
+
+TEST(Span, RingDropsWhenFullAndCounts) {
+  SpanTracer tracer(4);
+  tracer.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    ScopeSpan s(tracer, "tiny");
+  }
+  EXPECT_EQ(tracer.recorded(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.snapshot().size(), 4u);
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  {
+    ScopeSpan s(tracer, "after_clear");
+  }
+  EXPECT_EQ(tracer.recorded(), 1u);
+}
+
+TEST(Span, LongNamesAreTruncatedNotRejected) {
+  SpanTracer tracer(4);
+  tracer.set_enabled(true);
+  const std::string longname(100, 'x');
+  tracer.record(longname, 1, 0, 0, 1);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(std::string(spans[0].name),
+            std::string(SpanTracer::kMaxNameLength, 'x'));
+}
+
+TEST(Span, ConcurrentRecordingKeepsPerThreadNesting) {
+  SpanTracer tracer(1024);
+  tracer.set_enabled(true);
+  constexpr unsigned kThreads = 4;
+  constexpr int kIters = 32;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kIters; ++i) {
+        ScopeSpan outer(tracer, "outer");
+        ScopeSpan inner(tracer, "inner");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), kThreads * kIters * 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  // Per thread: every inner span nests in some outer span of that thread.
+  for (const auto& span : spans) {
+    if (std::string_view(span.name) != "inner") continue;
+    bool contained = false;
+    for (const auto& outer : spans) {
+      if (outer.thread == span.thread &&
+          std::string_view(outer.name) == "outer" &&
+          outer.start_ns <= span.start_ns && span.end_ns <= outer.end_ns) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "orphan inner span on thread " << span.thread;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST(TraceExport, EmitsValidChromeTraceJson) {
+  SpanTracer tracer(64);
+  tracer.set_enabled(true);
+  {
+    ScopeSpan outer(tracer, "solve");
+    ScopeSpan inner(tracer, "bfs");
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+
+  const JsonValue doc = Parser(out.str()).parse();
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const JsonValue& e : events.array) {
+    EXPECT_EQ(e.at("ph").string, "X");  // complete events
+    EXPECT_EQ(e.at("cat").string, "mg");
+    EXPECT_GE(e.at("dur").number, 0.0);
+    EXPECT_GE(e.at("ts").number, 0.0);
+    EXPECT_EQ(e.at("pid").as_u64(), 1u);
+    EXPECT_GE(e.at("tid").as_u64(), 1u);
+  }
+  // Snapshot order puts the parent first; ts/dur must bracket the child
+  // (microsecond rounding can only shrink the child into the parent).
+  const JsonValue& parent = events.array[0];
+  const JsonValue& child = events.array[1];
+  EXPECT_EQ(parent.at("name").string, "solve");
+  EXPECT_EQ(child.at("name").string, "bfs");
+  EXPECT_LE(parent.at("ts").number, child.at("ts").number + 1e-3);
+  EXPECT_GE(parent.at("ts").number + parent.at("dur").number + 1e-3,
+            child.at("ts").number + child.at("dur").number);
+  EXPECT_EQ(child.at("args").at("depth").as_u64(), 1u);
+}
+
+TEST(TraceExport, EmptyTracerStillProducesValidDocument) {
+  SpanTracer tracer(4);
+  std::ostringstream out;
+  write_chrome_trace(out, tracer);
+  const JsonValue doc = Parser(out.str()).parse();
+  EXPECT_TRUE(doc.at("traceEvents").array.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming trace sinks
 
 TEST(Trace, SinksObserveSimulatedRun) {
   const auto g = graph::cycle(8);
