@@ -1,0 +1,197 @@
+// Distributed-runtime benchmark — the machine-readable actor-overhead
+// artifact (BENCH_dist.json).
+//
+// For every named graph x all four gossip algorithms the bench executes the
+// same schedule two ways:
+//   central  — `sim::simulate` replaying the centrally computed schedule
+//              (one loop, no actors, no mailboxes), and
+//   dist     — the `mg::dist` actor runtime: n processor actors deciding
+//              from local state behind a round-synchronized mailbox bus,
+//              serially and on a worker pool.
+// Each row records the wall time of all three executions, the emergent
+// round count, and the per-round latency quantiles of the actor runtime
+// from the `dist.round_ns` observability histogram — the honest price of
+// decentralization relative to the flat replay loop.
+//
+// The bench doubles as a regression gate: a row fails (process exits
+// nonzero) when the emergent schedule diverges from the central one, the
+// run does not complete, or a fault-free ConcurrentUpDown execution does
+// not span exactly n + r rounds (Theorem 1).
+//
+//   dist_bench [--out FILE] [--threads N] [--quick]
+//
+// --out      output path (default BENCH_dist.json)
+// --threads  worker count for the threaded rows (default 4)
+// --quick    cycle + Petersen only (CI-friendly)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dist/runtime.h"
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "sim/network_sim.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace mg;
+
+int run(const std::string& out_path, std::size_t threads, bool quick) {
+  std::vector<std::pair<std::string, graph::Graph>> graphs = {
+      {"cycle/n=16", graph::cycle(16)},
+      {"petersen", graph::petersen()},
+  };
+  if (!quick) {
+    graphs.emplace_back("grid/5x5", graph::grid(5, 5));
+    graphs.emplace_back("hypercube/d=4", graph::hypercube(4));
+    graphs.emplace_back("grid/8x8", graph::grid(8, 8));
+  }
+  constexpr gossip::Algorithm kAlgorithms[] = {
+      gossip::Algorithm::kSimple, gossip::Algorithm::kUpDown,
+      gossip::Algorithm::kConcurrentUpDown, gossip::Algorithm::kTelephone};
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "dist_bench: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 2;
+  }
+
+  obs::Registry& registry = obs::Registry::global();
+  registry.set_enabled(true);
+
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema_version", 1);
+  w.field("suite", "dist");
+  w.field("threads", static_cast<std::uint64_t>(threads));
+  w.key("rows").begin_array();
+
+  bool all_ok = true;
+  std::size_t row_count = 0;
+  for (const auto& [name, g] : graphs) {
+    for (const gossip::Algorithm algorithm : kAlgorithms) {
+      registry.reset();
+      const gossip::Solution central = gossip::solve_gossip(g, algorithm);
+      const graph::Vertex n = central.instance.vertex_count();
+      const std::uint32_t r = central.instance.radius();
+      const std::size_t horizon = central.schedule.round_count();
+
+      // Central replay: one flat loop over the precomputed schedule.
+      Stopwatch central_watch;
+      const sim::SimResult replay =
+          sim::simulate(central.instance.tree().as_graph(), central.schedule,
+                        central.instance.initial());
+      const auto central_ns =
+          static_cast<std::uint64_t>(central_watch.seconds() * 1e9);
+
+      const auto run_dist = [&](std::size_t workers) {
+        dist::RuntimeOptions options;
+        options.threads = workers;
+        dist::ActorRuntime runtime(central.instance, g, options);
+        if (algorithm == gossip::Algorithm::kConcurrentUpDown) {
+          runtime.use_online_rule();
+        } else {
+          runtime.use_timetable(central.schedule);
+        }
+        Stopwatch watch;
+        dist::RunReport run = runtime.run(horizon);
+        return std::make_pair(
+            static_cast<std::uint64_t>(watch.seconds() * 1e9),
+            std::move(run));
+      };
+      const auto [serial_ns, serial_run] = run_dist(0);
+      const auto [threaded_ns, threaded_run] = run_dist(threads);
+
+      const dist::VerifyReport verify = dist::verify_against_schedule(
+          central.schedule, serial_run.emergent, n, r);
+      const bool n_plus_r_ok =
+          algorithm != gossip::Algorithm::kConcurrentUpDown ||
+          verify.n_plus_r_ok;
+      const bool row_ok = central.report.ok && replay.completed &&
+                          verify.match && serial_run.complete &&
+                          threaded_run.complete && n_plus_r_ok;
+      all_ok = all_ok && row_ok;
+      ++row_count;
+
+      const obs::Snapshot snap = registry.snapshot();
+      const obs::HistogramSnapshot round_hist =
+          snap.histogram("dist.round_ns");
+      w.begin_object();
+      w.field("name", name);
+      w.field("algorithm", gossip::algorithm_name(algorithm));
+      w.field("n", static_cast<std::uint64_t>(n));
+      w.field("r", static_cast<std::uint64_t>(r));
+      w.field("rounds", static_cast<std::uint64_t>(horizon));
+      w.field("messages", static_cast<std::uint64_t>(serial_run.messages));
+      w.field("deliveries",
+              static_cast<std::uint64_t>(serial_run.deliveries));
+      w.field("central_ns", central_ns);
+      w.field("dist_serial_ns", serial_ns);
+      w.field("dist_threaded_ns", threaded_ns);
+      w.field("actor_overhead",
+              central_ns == 0
+                  ? 0.0
+                  : static_cast<double>(serial_ns) /
+                        static_cast<double>(central_ns));
+      // Both dist executions feed the per-round histogram.
+      w.field("round_samples", round_hist.count);
+      w.field("round_ns_p50", round_hist.p50);
+      w.field("round_ns_p99", round_hist.p99);
+      w.field("match", verify.match);
+      w.field("n_plus_r_ok", n_plus_r_ok);
+      w.field("complete", serial_run.complete);
+      w.end_object();
+
+      std::printf("%-14s %-18s rounds=%3zu central=%8llu ns serial=%8llu ns "
+                  "threaded=%8llu ns %s\n",
+                  name.c_str(), gossip::algorithm_name(algorithm).c_str(),
+                  horizon, static_cast<unsigned long long>(central_ns),
+                  static_cast<unsigned long long>(serial_ns),
+                  static_cast<unsigned long long>(threaded_ns),
+                  row_ok ? "ok" : "VIOLATION");
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  out << '\n';
+
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), row_count);
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "dist_bench: emergent schedule diverged, run incomplete, "
+                 "or n + r violated\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_dist.json";
+  std::size_t threads = 4;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::stoul(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dist_bench [--out FILE] [--threads N] [--quick]\n");
+      return 2;
+    }
+  }
+  return run(out_path, threads, quick);
+}

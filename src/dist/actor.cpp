@@ -1,0 +1,168 @@
+#include "dist/actor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.h"
+
+namespace mg::dist {
+
+using graph::Vertex;
+using model::Message;
+
+namespace {
+
+/// Bit `m` of a digest's word vector (false past the end — a shorter
+/// digest simply offers nothing there).
+bool digest_test(const std::vector<std::uint64_t>& words, Message m) {
+  const std::size_t w = static_cast<std::size_t>(m) >> 6;
+  if (w >= words.size()) return false;
+  return (words[w] >> (m & 63)) & 1;
+}
+
+}  // namespace
+
+TimetableRule::TimetableRule(const model::Schedule& schedule,
+                             graph::Vertex self) {
+  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+    for (const auto& tx : schedule.round(t)) {
+      if (tx.sender == self) rows_.emplace_back(t, tx);
+    }
+  }
+}
+
+std::optional<model::Transmission> TimetableRule::decide(std::size_t t) {
+  if (next_ >= rows_.size() || rows_[next_].first != t) return std::nullopt;
+  return rows_[next_++].second;
+}
+
+ProcessorActor::ProcessorActor(Vertex self, Vertex n, Message initial,
+                               std::vector<Vertex> neighbors,
+                               std::unique_ptr<LocalRule> rule)
+    : self_(self),
+      n_(n),
+      neighbors_(std::move(neighbors)),
+      rule_(std::move(rule)),
+      holds_(n) {
+  holds_.set(initial);
+}
+
+void ProcessorActor::absorb(std::size_t t,
+                            const std::vector<Envelope>& inbox) {
+  for (const Envelope& e : inbox) {
+    if (e.kind != Envelope::Kind::kData) continue;
+    holds_.set(e.message);
+    rule_->observe(t, e.message, e.from_parent);
+  }
+}
+
+Outbox ProcessorActor::step_main(std::size_t t,
+                                 const std::vector<Envelope>& inbox) {
+  absorb(t, inbox);
+  Outbox out;
+  if (auto tx = rule_->decide(t)) {
+    if (holds_.test(tx->message)) {
+      out.data = std::move(tx);
+    } else {
+      // Physical constraint: the rule scheduled a relay of a message this
+      // actor never received (a fault's downstream cascade).
+      out.skipped = true;
+      out.data = std::move(tx);
+    }
+  }
+  return out;
+}
+
+void ProcessorActor::learn(const std::vector<Envelope>& inbox) {
+  for (const Envelope& e : inbox) {
+    if (e.kind == Envelope::Kind::kData) holds_.set(e.message);
+  }
+}
+
+Outbox ProcessorActor::step_digest() {
+  Outbox out;
+  Envelope digest;
+  digest.kind = Envelope::Kind::kDigest;
+  digest.sender = self_;
+  digest.digest = holds_.words();
+  for (const Vertex u : neighbors_) {
+    out.control.push_back(digest);
+    out.control_to.push_back(u);
+  }
+  return out;
+}
+
+Outbox ProcessorActor::step_grant(const std::vector<Envelope>& inbox) {
+  Outbox out;
+  quiescent_ = true;
+  // Delayed data envelopes (per-edge fault delays) can land on any flip of
+  // the recovery cycle; fold them in before deciding what is still wanted.
+  learn(inbox);
+  if (complete()) return out;
+
+  // Which live neighbor offers the most messages I lack?  (A neighbor
+  // whose digest is absent is presumed crashed.)
+  Vertex best = graph::kNoVertex;
+  std::size_t best_offered = 0;
+  Message best_request = 0;
+  for (const Envelope& e : inbox) {
+    if (e.kind != Envelope::Kind::kDigest) continue;
+    std::size_t offered = 0;
+    Message lowest = 0;
+    bool any = false;
+    for (Message m = 0; m < n_; ++m) {
+      if (!holds_.test(m) && digest_test(e.digest, m)) {
+        ++offered;
+        if (!any) {
+          lowest = m;
+          any = true;
+        }
+      }
+    }
+    if (offered > best_offered ||
+        (offered == best_offered && offered > 0 && e.sender < best)) {
+      best = e.sender;
+      best_offered = offered;
+      best_request = lowest;
+    }
+  }
+  if (best_offered == 0) return out;  // nothing wanted is on offer: quiesce
+
+  quiescent_ = false;
+  Envelope grant;
+  grant.kind = Envelope::Kind::kGrant;
+  grant.sender = self_;
+  grant.message = best_request;
+  out.control.push_back(std::move(grant));
+  out.control_to.push_back(best);
+  return out;
+}
+
+Outbox ProcessorActor::step_data(const std::vector<Envelope>& inbox) {
+  Outbox out;
+  learn(inbox);
+  // Votes: requested message -> granters, in deterministic order (the bus
+  // sorts each inbox canonically before its seeded shuffle, so we re-sort
+  // here to stay order-independent).
+  std::map<Message, std::vector<Vertex>> votes;
+  for (const Envelope& e : inbox) {
+    if (e.kind != Envelope::Kind::kGrant) continue;
+    MG_ASSERT_MSG(holds_.test(e.message),
+                  "grant requested a message the digest never offered");
+    votes[e.message].push_back(e.sender);
+  }
+  if (votes.empty()) return out;
+  auto winner = votes.begin();
+  for (auto it = std::next(votes.begin()); it != votes.end(); ++it) {
+    if (it->second.size() > winner->second.size()) winner = it;
+  }
+  model::Transmission tx;
+  tx.message = winner->first;
+  tx.sender = self_;
+  tx.receivers = std::move(winner->second);
+  std::sort(tx.receivers.begin(), tx.receivers.end());
+  out.data = std::move(tx);
+  return out;
+}
+
+}  // namespace mg::dist

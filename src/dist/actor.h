@@ -1,0 +1,162 @@
+// Processor actors for the distributed online execution of §4.
+//
+// Each `ProcessorActor` is one processor: it owns its hold set, its local
+// decision rule, and its recovery-protocol state, and it touches nothing
+// global — the runtime only ever hands it its own inbox.  Two decision
+// rules exist:
+//
+//  * `OnlineRule` — the paper's §4 claim made literal: the actor's entire
+//    main-phase behaviour is computed from `(i, j, k, n)` (plus the
+//    locally-known parent/child ids) via `gossip::OnlineProcessor`.  No
+//    schedule is ever shipped to the actor; the ConcurrentUpDown schedule
+//    *emerges* from n independent actors exchanging messages.
+//
+//  * `TimetableRule` — the weaker dissemination reading of §4 ("each
+//    processor may send its messages at the specified times") used for the
+//    algorithms without a closed-form local rule (Simple, UpDown,
+//    Telephone): the actor receives only its *own* rows of the centrally
+//    computed schedule.  The runtime still enforces the physical constraint
+//    that an actor cannot forward a message it never received, so fault
+//    cascades emerge exactly as in `sim::simulate`.
+//
+// Decentralized recovery (after the planned horizon) is a three-subround
+// digest / grant / data cycle per repair round — every decision is local:
+//
+//  1. digest — every live actor multicasts its hold bitmap to its network
+//     neighbors.  A neighbor whose digest is missing is presumed crashed
+//     (heartbeat failure detection).
+//  2. grant — an actor still missing messages picks the neighbor whose
+//     digest offers the most of them (ties: lowest id), and reserves it
+//     with a grant naming one wanted message (lowest id offered).  One
+//     grant per receiver per cycle, so data-round D sets are disjoint by
+//     construction — the emergent repair schedule is model-valid.
+//  3. data — each granted actor sends the message requested by the most of
+//     its granters (ties: lowest id) to exactly the granters that requested
+//     it.  Every data round delivers at least one new (processor, message)
+//     pair per granted sender, so the protocol reaches each surviving
+//     component's achievable closure in finitely many rounds; quiescence
+//     (no grants anywhere) is exactly closure, mirroring
+//     `gossip::partial_completion_schedule`'s semantics without its
+//     coordinator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dist/mailbox.h"
+#include "gossip/online.h"
+#include "model/schedule.h"
+#include "support/bitset.h"
+
+namespace mg::dist {
+
+/// A processor's per-round decision procedure.  `observe` sees every data
+/// arrival (time, message, came-from-parent); `decide` is called once per
+/// main-phase round after all of that round's arrivals were observed.
+class LocalRule {
+ public:
+  virtual ~LocalRule() = default;
+  virtual void observe(std::size_t t, model::Message m, bool from_parent) = 0;
+  [[nodiscard]] virtual std::optional<model::Transmission> decide(
+      std::size_t t) = 0;
+};
+
+/// The §4 online rule: ConcurrentUpDown from `(i, j, k, n)` alone.
+class OnlineRule final : public LocalRule {
+ public:
+  explicit OnlineRule(gossip::LocalInfo info) : proc_(std::move(info)) {}
+
+  void observe(std::size_t t, model::Message m, bool from_parent) override {
+    proc_.deliver(t, m, from_parent);
+  }
+
+  [[nodiscard]] std::optional<model::Transmission> decide(
+      std::size_t t) override {
+    return proc_.send_at(t);
+  }
+
+ private:
+  gossip::OnlineProcessor proc_;
+};
+
+/// The dissemination rule: the actor's own (t, message, D) rows of a
+/// centrally computed schedule, replayed at the specified times.
+class TimetableRule final : public LocalRule {
+ public:
+  /// Extracts the rows whose sender is `self` from `schedule`.
+  TimetableRule(const model::Schedule& schedule, graph::Vertex self);
+
+  void observe(std::size_t, model::Message, bool) override {}
+
+  [[nodiscard]] std::optional<model::Transmission> decide(
+      std::size_t t) override;
+
+ private:
+  std::vector<std::pair<std::size_t, model::Transmission>> rows_;
+  std::size_t next_ = 0;
+};
+
+/// What an actor wants to put on the wire this round; the runtime applies
+/// the fault plan and routes it.
+struct Outbox {
+  std::optional<model::Transmission> data;  ///< main-phase or recovery data
+  bool skipped = false;  ///< rule fired but the message was never received
+  std::vector<Envelope> control;            ///< digests / grants
+  std::vector<graph::Vertex> control_to;    ///< parallel to `control`
+};
+
+class ProcessorActor {
+ public:
+  /// `neighbors` are the *network* neighbors (recovery routes around lossy
+  /// tree branches, like the central repair builder).  `initial` is the
+  /// message this processor starts with — its DFS label, NOT its vertex id.
+  ProcessorActor(graph::Vertex self, graph::Vertex n, model::Message initial,
+                 std::vector<graph::Vertex> neighbors,
+                 std::unique_ptr<LocalRule> rule);
+
+  [[nodiscard]] graph::Vertex id() const { return self_; }
+  [[nodiscard]] const DynamicBitset& holds() const { return holds_; }
+  [[nodiscard]] std::size_t missing() const {
+    return static_cast<std::size_t>(n_) - holds_.count();
+  }
+  [[nodiscard]] bool complete() const { return missing() == 0; }
+
+  /// Main phase, one round: absorb this round's inbox, then decide.
+  [[nodiscard]] Outbox step_main(std::size_t t,
+                                 const std::vector<Envelope>& inbox);
+
+  /// Tail of the main phase: absorb arrivals without deciding (the final
+  /// sends of an R-round schedule arrive at time R, past the last decide).
+  void absorb(std::size_t t, const std::vector<Envelope>& inbox);
+
+  /// Recovery-phase absorption: fold data arrivals into the hold set
+  /// without feeding the (retired) main-phase rule.
+  void learn(const std::vector<Envelope>& inbox);
+
+  // --- recovery subrounds (each reads the previous subround's inbox) ------
+
+  /// Subround 1: multicast own hold bitmap to every network neighbor.
+  [[nodiscard]] Outbox step_digest();
+
+  /// Subround 2: read neighbor digests, reserve the best offering neighbor.
+  [[nodiscard]] Outbox step_grant(const std::vector<Envelope>& inbox);
+
+  /// Subround 3: read grants, serve the most-requested message.
+  [[nodiscard]] Outbox step_data(const std::vector<Envelope>& inbox);
+
+  /// True when the last `step_grant` found nothing to want from any live
+  /// neighbor — this actor's local quiescence vote.
+  [[nodiscard]] bool quiescent() const { return quiescent_; }
+
+ private:
+  graph::Vertex self_;
+  graph::Vertex n_;
+  std::vector<graph::Vertex> neighbors_;
+  std::unique_ptr<LocalRule> rule_;
+  DynamicBitset holds_;
+  bool quiescent_ = true;
+};
+
+}  // namespace mg::dist

@@ -1,0 +1,130 @@
+// Round-synchronized message bus for the `mg::dist` actor runtime.
+//
+// Every processor actor owns one mailbox.  During a round, actors (running
+// on several worker threads) post envelopes addressed to other actors; the
+// bus buffers them by arrival time — a message posted at round t arrives at
+// t + 1 (+ any per-edge fault delay) — behind mutex-striped locks so
+// concurrent senders never contend on one global lock.  At the round
+// barrier `flip()` moves every due envelope into its receiver's read-only
+// inbox in a *deterministic* order: envelopes are first sorted by a
+// canonical key (kind, sender, message) to erase the thread-interleaving
+// order they were posted in, then shuffled with an Rng seeded from
+// (seed, round, receiver).  The shuffle makes delivery order adversarial —
+// actors must not depend on it — while keeping every run bit-identical for
+// a fixed seed (the dist stress battery asserts exactly that).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "support/rng.h"
+
+namespace mg::dist {
+
+/// One message on the (in-process) wire.  Data envelopes carry a gossip
+/// message; digest/grant envelopes are the decentralized recovery
+/// protocol's control plane (see actor.h).
+struct Envelope {
+  enum class Kind : std::uint8_t {
+    kData = 0,    ///< a gossip message (the only kind the timeline sees)
+    kDigest = 1,  ///< recovery: sender's hold bitmap (words)
+    kGrant = 2,   ///< recovery: receiver-side reservation of one sender
+  };
+  Kind kind = Kind::kData;
+  graph::Vertex sender = 0;
+  model::Message message = 0;  ///< payload for kData; requested id for kGrant
+  /// True when the sender is the receiver's tree parent — the one bit of
+  /// link-local context the §4 online rule needs (o-stream vs child
+  /// deliveries).  Meaningless for control envelopes.
+  bool from_parent = false;
+  std::vector<std::uint64_t> digest;  ///< hold bitmap words for kDigest
+};
+
+/// Canonical order erasing the posting interleaving.
+inline bool envelope_less(const Envelope& a, const Envelope& b) {
+  if (a.kind != b.kind) return a.kind < b.kind;
+  if (a.sender != b.sender) return a.sender < b.sender;
+  return a.message < b.message;
+}
+
+class MailboxBus {
+ public:
+  /// `n` mailboxes; `seed` drives the per-(round, receiver) delivery
+  /// shuffle.  `max_delay` is the largest extra in-flight time an envelope
+  /// can carry (fault::FaultPlan::max_extra_delay()).
+  MailboxBus(graph::Vertex n, std::uint64_t seed, std::size_t max_delay = 0)
+      : n_(n),
+        seed_(seed),
+        slots_(static_cast<std::size_t>(max_delay) + 2),
+        boxes_(static_cast<std::size_t>(n) * slots_),
+        inboxes_(n),
+        stripes_((static_cast<std::size_t>(n) + kStripeSize - 1) /
+                 kStripeSize) {}
+
+  MailboxBus(const MailboxBus&) = delete;
+  MailboxBus& operator=(const MailboxBus&) = delete;
+
+  /// Posts `e` to `to`, arriving `delay` rounds after the next barrier
+  /// (0 = the normal send-at-t, receive-at-t+1 latency).  Thread-safe;
+  /// concurrent posters to mailboxes in different stripes never contend.
+  void post(graph::Vertex to, std::size_t delay, Envelope e) {
+    std::lock_guard<std::mutex> lock(
+        stripes_[static_cast<std::size_t>(to) / kStripeSize].mutex);
+    box(to, (cursor_ + delay) % slots_).push_back(std::move(e));
+  }
+
+  /// Round barrier: makes every envelope due now readable via `inbox()`,
+  /// in the canonical-sorted-then-seed-shuffled order.  Single-threaded.
+  void flip(std::size_t round) {
+    for (graph::Vertex v = 0; v < n_; ++v) {
+      auto& due = box(v, cursor_);
+      std::sort(due.begin(), due.end(), envelope_less);
+      if (due.size() > 1) {
+        Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * (round + 1)) ^
+                (0xd1b54a32d192ed03ULL * (static_cast<std::uint64_t>(v) + 1)));
+        rng.shuffle(due);
+      }
+      inboxes_[v] = std::move(due);
+      due.clear();
+    }
+    cursor_ = (cursor_ + 1) % slots_;
+  }
+
+  /// The envelopes delivered to `v` at the last `flip()`.  Stable until the
+  /// next flip; actors read their own inbox only.
+  [[nodiscard]] const std::vector<Envelope>& inbox(graph::Vertex v) const {
+    return inboxes_[v];
+  }
+
+  /// Discards everything still in flight (used when a phase ends).
+  void drain() {
+    for (auto& b : boxes_) b.clear();
+    for (auto& i : inboxes_) i.clear();
+  }
+
+ private:
+  static constexpr std::size_t kStripeSize = 16;
+
+  struct alignas(64) Stripe {
+    std::mutex mutex;
+  };
+
+  std::vector<Envelope>& box(graph::Vertex v, std::size_t slot) {
+    return boxes_[static_cast<std::size_t>(v) * slots_ + slot];
+  }
+
+  graph::Vertex n_;
+  std::uint64_t seed_;
+  std::size_t slots_;
+  std::size_t cursor_ = 0;
+  /// boxes_[v * slots_ + s]: envelopes for v arriving at barrier slot s.
+  std::vector<std::vector<Envelope>> boxes_;
+  std::vector<std::vector<Envelope>> inboxes_;
+  std::vector<Stripe> stripes_;
+};
+
+}  // namespace mg::dist

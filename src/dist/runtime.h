@@ -1,0 +1,156 @@
+// Round-synchronized actor runtime: the distributed online execution of §4.
+//
+// `ActorRuntime` runs n `ProcessorActor`s with no global coordinator: every
+// round each actor reads only its own mailbox, updates its local state, and
+// decides its transmission from its local rule.  The runtime supplies just
+// the physical fabric — the round barrier, message routing (with the
+// fault plan's drops / crash-stop / per-edge delays applied exactly as
+// `sim::simulate` applies them, at the same absolute round indices), and
+// deterministic delivery order under a seed — plus passive capture: the
+// emergent `model::Schedule`, trace events for a `gossip::RoundTimeline`
+// sink, and `dist.*` observability counters.
+//
+// Phases per main round t:
+//   1. barrier flip    — arrivals due at t become readable (deterministic
+//                        canonical-sort + seeded-shuffle order);
+//   2. decide          — actors absorb their inbox and decide, in parallel
+//                        across the worker pool (actor state is strictly
+//                        per-actor, so no locks are needed here);
+//   3. fault + capture — the runtime applies crash/drop/skip verdicts in
+//                        actor-id order and records events and the emergent
+//                        schedule (serial, so capture is deterministic);
+//   4. route           — surviving envelopes are posted to the receivers'
+//                        mailboxes, in parallel, behind the bus's stripe
+//                        locks (the part the TSAN stress battery hammers).
+//
+// After the planned horizon, incomplete live actors run the decentralized
+// digest / grant / data recovery protocol (see actor.h) until quiescence,
+// completion, or budget exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dist/actor.h"
+#include "dist/mailbox.h"
+#include "fault/fault.h"
+#include "gossip/instance.h"
+#include "gossip/solve.h"
+#include "graph/graph.h"
+#include "model/schedule.h"
+#include "obs/trace.h"
+#include "support/bitset.h"
+
+namespace mg::dist {
+
+struct RuntimeOptions {
+  /// Fault plan applied by the fabric (nullptr = fault-free).  Rounds are
+  /// absolute: main round t is round t, recovery cycle q is round
+  /// horizon + q — the same convention `gossip::solve_with_recovery` uses.
+  const fault::FaultPlan* faults = nullptr;
+  /// Worker threads for the decide/route phases; 0 = run serially.
+  std::size_t threads = 0;
+  /// Seed for the bus's adversarial (but reproducible) delivery order.
+  std::uint64_t seed = 0x5eed;
+  /// Run the decentralized recovery protocol after the horizon when live
+  /// actors are still missing messages.
+  bool recover = true;
+  /// Cap on recovery data rounds (0 = until quiescence, with an internal
+  /// 4n^2 + 16 hard ceiling against pathological all-drop plans).
+  std::size_t extra_round_budget = 0;
+  /// Receives send/receive/drop/crash/skip/lost events with the same kinds
+  /// and times `sim::simulate` emits — a `gossip::RoundTimeline` plugs in
+  /// directly.  Events are emitted from the serial capture phase only.
+  obs::TraceSink* sink = nullptr;
+};
+
+/// What one distributed run produced.
+struct RunReport {
+  /// Transmissions that actually hit the wire in rounds 0..horizon-1.  On
+  /// a fault-free run this is the schedule that *emerged* from the actors —
+  /// the differential gate compares it round-for-round with the central one.
+  model::Schedule emergent;
+  /// Emergent repair transmissions, local round q = recovery cycle q.
+  model::Schedule repair;
+  std::size_t horizon = 0;          ///< main-phase rounds executed
+  std::size_t recovery_rounds = 0;  ///< recovery data rounds executed
+  std::size_t messages = 0;         ///< data transmissions sent (main+repair)
+  std::size_t deliveries = 0;       ///< point-to-point data deliveries
+  std::size_t control_messages = 0; ///< recovery digests + grants
+  std::size_t injected_drops = 0;
+  std::size_t crashed_sends = 0;
+  std::size_t skipped_sends = 0;
+  std::size_t lost_receives = 0;
+  bool complete = false;   ///< every live actor holds all n messages
+  bool recovered = false;  ///< every live actor reached its component closure
+  /// Fraction of (live actor, message) pairs held at the end (1.0 when
+  /// complete) — the honest partial-coverage report on crash partitions.
+  double coverage = 1.0;
+  std::vector<graph::Vertex> crashed;   ///< actors dead by end of run
+  std::vector<std::size_t> missing;     ///< per-actor missing counts
+  std::vector<DynamicBitset> main_holds;   ///< hold sets at end of main phase
+  std::vector<DynamicBitset> final_holds;  ///< hold sets at end of run
+};
+
+class ActorRuntime {
+ public:
+  /// `instance` supplies the tree/labeling context (kept by reference);
+  /// `network` is the full network the recovery protocol may route over.
+  ActorRuntime(const gossip::Instance& instance, const graph::Graph& network,
+               const RuntimeOptions& options);
+  ~ActorRuntime();
+
+  ActorRuntime(const ActorRuntime&) = delete;
+  ActorRuntime& operator=(const ActorRuntime&) = delete;
+
+  /// Equips every actor with the §4 online rule — behaviour computed from
+  /// (i, j, k, n) alone; the ConcurrentUpDown schedule emerges.
+  void use_online_rule();
+
+  /// Equips every actor with only its own rows of `schedule` (the
+  /// dissemination reading of §4, for algorithms without a closed-form
+  /// local rule).
+  void use_timetable(const model::Schedule& schedule);
+
+  /// Executes `horizon` main rounds plus (optionally) recovery.  Call once.
+  [[nodiscard]] RunReport run(std::size_t horizon);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Differential verdict: emergent vs centrally computed schedule.
+struct VerifyReport {
+  bool match = false;          ///< round-for-round transmission equality
+  bool n_plus_r_ok = false;    ///< emergent spans exactly n + r rounds
+  std::size_t central_rounds = 0;
+  std::size_t emergent_rounds = 0;
+  /// First differing round (SIZE_MAX when match), with a human-readable
+  /// account of the difference in `detail`.
+  std::size_t first_mismatch_round = static_cast<std::size_t>(-1);
+  std::string detail;
+};
+
+/// Round-for-round comparison of the emergent schedule against the central
+/// one, plus the Theorem 1 check (`n_plus_r_ok` is only a meaningful gate
+/// for fault-free ConcurrentUpDown runs).
+[[nodiscard]] VerifyReport verify_against_schedule(
+    const model::Schedule& central, const model::Schedule& emergent,
+    graph::Vertex n, std::uint32_t radius);
+
+/// End-to-end driver: solve centrally (reference), run the decentralized
+/// actors (online rule for ConcurrentUpDown, per-actor timetable slices
+/// otherwise), and compare.
+struct DistOutcome {
+  gossip::Solution central;  ///< centrally computed reference solution
+  RunReport run;             ///< the emergent decentralized execution
+  VerifyReport verify;       ///< differential verdict (fault-free gate)
+};
+
+[[nodiscard]] DistOutcome run_distributed(const graph::Graph& g,
+                                          gossip::Algorithm algorithm,
+                                          const RuntimeOptions& options = {});
+
+}  // namespace mg::dist

@@ -19,6 +19,9 @@
 //   model/    schedules, the communication-model validator, statistics
 //   fault/    composable fault plans: drops, crash-stop, per-edge delays
 //   gossip/   the paper's algorithms and extensions, incl. self-healing
+//   dist/     distributed online execution: per-processor actors, the
+//             round-synchronized message bus, decentralized recovery, and
+//             the differential gate against the central schedule
 //   engine/   concurrent batch solver: sharded LRU schedule cache keyed by
 //             graph fingerprint, single-flight miss coalescing
 //   mmc/      the multimessage-multicasting generalization
@@ -35,6 +38,9 @@
 #include "graph/named.h"             // IWYU pragma: export
 #include "graph/product.h"           // IWYU pragma: export
 #include "graph/properties.h"        // IWYU pragma: export
+#include "dist/actor.h"              // IWYU pragma: export
+#include "dist/mailbox.h"            // IWYU pragma: export
+#include "dist/runtime.h"            // IWYU pragma: export
 #include "engine/engine.h"           // IWYU pragma: export
 #include "fault/fault.h"             // IWYU pragma: export
 #include "gossip/bounded_fanout.h"   // IWYU pragma: export

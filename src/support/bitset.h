@@ -56,6 +56,12 @@ class DynamicBitset {
 
   [[nodiscard]] bool operator==(const DynamicBitset&) const = default;
 
+  /// Raw 64-bit words, little-endian bit order — the wire format the dist
+  /// recovery digests use.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
  private:
   std::size_t bits_;
   std::vector<std::uint64_t> words_;

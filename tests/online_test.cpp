@@ -3,6 +3,10 @@
 // schedule exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <vector>
+
 #include "gossip/concurrent_updown.h"
 #include "gossip/online.h"
 #include "support/rng.h"
@@ -66,6 +70,61 @@ TEST(Online, MatchesOfflineOnRandomTrees) {
     EXPECT_TRUE(model::equivalent(concurrent_updown(instance),
                                   run_online(instance)))
         << "seed=" << seed << " n=" << n;
+  }
+}
+
+TEST(Online, PerProcessorDecisionParityWithOffline) {
+  // The strongest form of the §4 claim, pinned processor by processor:
+  // drive every OnlineProcessor by hand (deliveries replayed from the
+  // offline schedule's wire traffic) and require that at EVERY round each
+  // processor's decision — including the exact receiver set — equals the
+  // offline ConcurrentUpDown row for that (round, sender), with no global
+  // schedule object anywhere in the loop.
+  for (const auto& family : test::families()) {
+    for (graph::Vertex knob : {3u, 5u, 9u}) {
+      const auto instance = Instance::from_network(family.make(knob));
+      const auto offline = concurrent_updown(instance);
+      const auto& tree = instance.tree();
+      const graph::Vertex n = instance.vertex_count();
+
+      std::vector<OnlineProcessor> procs;
+      procs.reserve(n);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        procs.emplace_back(local_info_for(instance, v));
+      }
+
+      for (std::size_t t = 0; t < offline.round_count(); ++t) {
+        // Receive (sends of round t-1 arrive at t) happens before send.
+        if (t > 0) {
+          for (const auto& tx : offline.round(t - 1)) {
+            for (const graph::Vertex r : tx.receivers) {
+              procs[r].deliver(t, tx.message,
+                               /*from_parent=*/!tree.is_root(r) &&
+                                   tree.parent(r) == tx.sender);
+            }
+          }
+        }
+        std::vector<std::optional<model::Transmission>> expected(n);
+        for (const auto& tx : offline.round(t)) {
+          expected[tx.sender] = tx;
+        }
+        for (graph::Vertex v = 0; v < n; ++v) {
+          SCOPED_TRACE(family.name + " knob=" + std::to_string(knob) +
+                       " t=" + std::to_string(t) + " v=" +
+                       std::to_string(v));
+          const auto actual = procs[v].send_at(t);
+          ASSERT_EQ(actual.has_value(), expected[v].has_value());
+          if (!actual.has_value()) continue;
+          EXPECT_EQ(actual->sender, v);
+          EXPECT_EQ(actual->message, expected[v]->message);
+          auto a = actual->receivers;
+          auto b = expected[v]->receivers;
+          std::sort(a.begin(), a.end());
+          std::sort(b.begin(), b.end());
+          EXPECT_EQ(a, b);
+        }
+      }
+    }
   }
 }
 
