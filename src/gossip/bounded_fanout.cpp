@@ -66,7 +66,8 @@ model::Schedule bounded_fanout_gossip(const Instance& instance,
   };
   auto enqueue_down = [&](Vertex v, Message m) {
     if (tree.is_leaf(v)) return;
-    queue[v].push_back({m, tree.children(v)});
+    const auto kids = tree.children(v);
+    queue[v].push_back({m, {kids.begin(), kids.end()}});
   };
 
   std::size_t outstanding = 0;

@@ -12,7 +12,8 @@ model::Schedule multicast_broadcast(const graph::Graph& g,
   model::Schedule schedule;
   for (graph::Vertex v = 0; v < g.vertex_count(); ++v) {
     if (bfs.is_leaf(v)) continue;
-    schedule.add(bfs.level(v), {source, v, bfs.children(v)});
+    const auto kids = bfs.children(v);
+    schedule.add(bfs.level(v), {source, v, {kids.begin(), kids.end()}});
   }
   schedule.trim();
   return schedule;

@@ -70,7 +70,8 @@ std::vector<SendEvent> down_events(const Instance& instance) {
     const Label i = labels.label(v);
     const Label j = labels.subtree_end(v);
     const std::uint32_t k = tree.level(v);
-    const auto& children = tree.children(v);
+    const auto kids = tree.children(v);
+    const std::vector<Vertex> children(kids.begin(), kids.end());
 
     // (D3): b-messages i..j go down at times i-k..j-k in label order, each
     // skipping the child that already owns it; message i goes to all

@@ -22,7 +22,8 @@ LocalInfo local_info_for(const Instance& instance, graph::Vertex v) {
   info.has_parent = !tree.is_root(v);
   info.first_child = info.has_parent && labels.lip_count(v) == 1;
   info.parent = info.has_parent ? tree.parent(v) : graph::kNoVertex;
-  info.children = tree.children(v);
+  const auto kids = tree.children(v);
+  info.children.assign(kids.begin(), kids.end());
   for (graph::Vertex c : info.children) {
     info.child_intervals.emplace_back(labels.label(c), labels.subtree_end(c));
   }

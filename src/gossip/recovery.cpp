@@ -41,9 +41,7 @@ SurvivorClosure survivor_closure(const graph::Graph& g,
     while (!queue.empty()) {
       const graph::Vertex v = queue.back();
       queue.pop_back();
-      for (std::size_t m = 0; m < message_count; ++m) {
-        if (holds[v].test(m)) result.closure[id].set(m);
-      }
+      result.closure[id] |= holds[v];  // word-parallel union
       for (graph::Vertex u : g.neighbors(v)) {
         if (alive[u] && result.component[u] == kNoComponent) {
           result.component[u] = id;

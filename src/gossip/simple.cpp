@@ -31,9 +31,11 @@ model::Schedule simple_gossip(const Instance& instance) {
   for (graph::Vertex v = 0; v < n; ++v) {
     if (tree.is_leaf(v)) continue;
     const std::uint32_t k = tree.level(v);
+    const auto kids = tree.children(v);
+    const std::vector<graph::Vertex> receivers(kids.begin(), kids.end());
     for (model::Message m = 0; m < n; ++m) {
       schedule.add(static_cast<std::size_t>(n) - 2 + m + k,
-                   {m, v, tree.children(v)});
+                   {m, v, receivers});
     }
   }
 

@@ -1,0 +1,269 @@
+#include "graph/center.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/properties.h"
+#include "support/contracts.h"
+#include "support/thread_pool.h"
+
+namespace mg::graph {
+
+namespace {
+
+/// Reusable level-synchronous BFS state: one allocation per slot for the
+/// whole scan instead of three per source.
+struct BfsScratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+};
+
+struct BfsOutcome {
+  std::uint32_t ecc = 0;
+  Vertex reached = 0;
+};
+
+BfsOutcome run_bfs(const Graph& g, Vertex source, BfsScratch& s) {
+  const Vertex n = g.vertex_count();
+  s.dist.assign(n, kUnreachable);
+  s.frontier.clear();
+  s.frontier.push_back(source);
+  s.dist[source] = 0;
+  BfsOutcome out;
+  out.reached = 1;
+  std::uint32_t level = 0;
+  while (!s.frontier.empty()) {
+    ++level;
+    s.next.clear();
+    for (Vertex u : s.frontier) {
+      for (Vertex v : g.neighbors(u)) {
+        if (s.dist[v] == kUnreachable) {
+          s.dist[v] = level;
+          s.next.push_back(v);
+          ++out.reached;
+        }
+      }
+    }
+    if (!s.next.empty()) out.ecc = level;
+    s.frontier.swap(s.next);
+  }
+  return out;
+}
+
+std::size_t slot_count(const Graph& g, ThreadPool* pool) {
+  if (pool == nullptr || pool->thread_count() <= 1) return 1;
+  // No point spinning up more slots than sources.
+  return std::min<std::size_t>(pool->thread_count(), g.vertex_count());
+}
+
+CenterResult exhaustive_center(const Graph& g, ThreadPool* pool) {
+  const Vertex n = g.vertex_count();
+  const std::size_t slots = slot_count(g, pool);
+  std::vector<std::uint32_t> ecc(n, 0);
+  std::vector<BfsScratch> scratch(slots);
+  auto sweep_slot = [&](std::size_t slot) {
+    BfsScratch& s = scratch[slot];
+    for (Vertex v = static_cast<Vertex>(slot); v < n;
+         v += static_cast<Vertex>(slots)) {
+      const BfsOutcome out = run_bfs(g, v, s);
+      MG_EXPECTS_MSG(out.reached == n, "find_center requires connectivity");
+      ecc[v] = out.ecc;
+    }
+  };
+  if (slots > 1) {
+    pool->parallel_for(slots, sweep_slot);
+  } else {
+    sweep_slot(0);
+  }
+
+  CenterResult result;
+  result.bfs_runs = n;
+  result.radius = kUnreachable;
+  for (Vertex v = 0; v < n; ++v) {
+    if (ecc[v] < result.radius) {
+      result.radius = ecc[v];
+      result.center = v;
+    }
+    result.diameter_lb = std::max(result.diameter_lb, ecc[v]);
+  }
+  return result;
+}
+
+CenterResult hybrid_center(const Graph& g, ThreadPool* pool,
+                           const CenterOptions& options) {
+  const Vertex n = g.vertex_count();
+  const std::size_t slots = slot_count(g, pool);
+  std::vector<BfsScratch> scratch(slots);
+
+  CenterResult result;
+  result.used_hybrid = true;
+  result.radius = kUnreachable;
+
+  std::vector<std::uint32_t> lower(n, 0);
+  std::vector<std::uint32_t> upper(n, kUnreachable);
+  std::vector<char> evaluated(n, 0);
+
+  // Bound refresh from one evaluated source (BFS triangle inequality).
+  auto absorb = [&](std::uint32_t ecc, const std::vector<std::uint32_t>& d) {
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t lo = std::max(d[v], ecc - d[v]);
+      if (lo > lower[v]) lower[v] = lo;
+      const std::uint32_t up = d[v] + ecc;
+      if (up < upper[v]) upper[v] = up;
+    }
+  };
+  auto improve = [&](Vertex v, std::uint32_t ecc) {
+    result.diameter_lb = std::max(result.diameter_lb, ecc);
+    if (ecc < result.radius) {  // strict: ties never move the center
+      result.radius = ecc;
+      result.center = v;
+    }
+  };
+  // Evaluates a reference vertex serially; returns its distance vector.
+  auto evaluate_ref = [&](Vertex v) {
+    const BfsOutcome out = run_bfs(g, v, scratch[0]);
+    MG_EXPECTS_MSG(out.reached == n, "find_center requires connectivity");
+    ++result.bfs_runs;
+    evaluated[v] = 1;
+    improve(v, out.ecc);
+    absorb(out.ecc, scratch[0].dist);
+    return std::pair<std::uint32_t, std::vector<std::uint32_t>>(
+        out.ecc, scratch[0].dist);
+  };
+  auto farthest = [&](const std::vector<std::uint32_t>& d) {
+    Vertex arg = 0;
+    for (Vertex v = 1; v < n; ++v) {
+      if (d[v] > d[arg]) arg = v;  // smallest id on ties
+    }
+    return arg;
+  };
+
+  // Reference sweeps: 0 -> a (farthest) -> b (double sweep), a-b geodesic
+  // midpoint m, then the vertex farthest from m.  Repeats are skipped.
+  const auto [ecc0, dist0] = evaluate_ref(0);
+  const Vertex a = farthest(dist0);
+  std::vector<std::uint32_t> dist_a = dist0;
+  std::uint32_t ecc_a = ecc0;
+  if (evaluated[a] == 0) std::tie(ecc_a, dist_a) = evaluate_ref(a);
+  const Vertex b = farthest(dist_a);
+  std::vector<std::uint32_t> dist_b = dist_a;
+  if (evaluated[b] == 0) dist_b = evaluate_ref(b).second;
+
+  // Midpoint: among vertices on an a-b geodesic (d(a,v) + d(v,b) equals the
+  // double-sweep bound), the one most balanced between the endpoints;
+  // smallest id on ties.  On grids this lands near the true center and the
+  // resulting L bounds prune nearly everything.
+  Vertex mid = a;
+  std::uint32_t mid_key = kUnreachable;
+  for (Vertex v = 0; v < n; ++v) {
+    if (dist_a[v] + dist_b[v] != ecc_a) continue;
+    const std::uint32_t key = std::max(dist_a[v], dist_b[v]);
+    if (key < mid_key) {
+      mid_key = key;
+      mid = v;
+    }
+  }
+  std::vector<std::uint32_t> dist_m = dist_a;
+  if (evaluated[mid] == 0) {
+    dist_m = evaluate_ref(mid).second;
+  }
+  const Vertex far_m = farthest(dist_m);
+  if (evaluated[far_m] == 0) evaluate_ref(far_m);
+
+  // Candidate scan: unevaluated vertices ordered by the frozen (L, U, id).
+  std::vector<Vertex> order;
+  order.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    if (evaluated[v] == 0) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](Vertex x, Vertex y) {
+    if (lower[x] != lower[y]) return lower[x] < lower[y];
+    if (upper[x] != upper[y]) return upper[x] < upper[y];
+    return x < y;
+  });
+  std::vector<std::uint32_t> frozen(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) frozen[i] = lower[order[i]];
+
+  const std::size_t block_cap = std::max<std::uint32_t>(1, options.block_size);
+  std::vector<Vertex> block;
+  block.reserve(block_cap);
+  std::vector<std::uint32_t> block_ecc;
+  std::vector<std::vector<std::uint32_t>> block_dist;
+  std::uint64_t bound_updates = 0;
+
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // The order is sorted by frozen L and L only grows, so once the frozen
+    // bound reaches the running best the whole tail is certified away.
+    if (frozen[i] >= result.radius) {
+      result.pruned += order.size() - i;
+      break;
+    }
+    block.clear();
+    while (i < order.size() && block.size() < block_cap &&
+           frozen[i] < result.radius) {
+      const Vertex v = order[i];
+      ++i;
+      if (lower[v] >= result.radius) {
+        ++result.pruned;
+        continue;
+      }
+      block.push_back(v);
+    }
+    if (block.empty()) continue;
+
+    const std::size_t batch = block.size();
+    block_ecc.assign(batch, 0);
+    block_dist.assign(batch, {});
+    // Which evaluations also refresh bounds (first `budget` overall); fixed
+    // before the parallel section so the decision is thread-independent.
+    auto keeps_dist = [&](std::size_t j) {
+      return bound_updates + j < options.bound_update_budget;
+    };
+    auto eval_slot = [&](std::size_t slot) {
+      BfsScratch& s = scratch[slot];
+      for (std::size_t j = slot; j < batch; j += slots) {
+        const BfsOutcome out = run_bfs(g, block[j], s);
+        block_ecc[j] = out.ecc;
+        if (keeps_dist(j)) block_dist[j] = s.dist;
+      }
+    };
+    if (slots > 1 && batch > 1) {
+      pool->parallel_for(slots, eval_slot);
+    } else {
+      eval_slot(0);
+    }
+    result.bfs_runs += batch;
+
+    // Serial application in candidate order: thread-count invariant.
+    for (std::size_t j = 0; j < batch; ++j) {
+      evaluated[block[j]] = 1;
+      improve(block[j], block_ecc[j]);
+      if (keeps_dist(j)) absorb(block_ecc[j], block_dist[j]);
+    }
+    bound_updates += std::min<std::uint64_t>(
+        batch, options.bound_update_budget > bound_updates
+                   ? options.bound_update_budget - bound_updates
+                   : 0);
+  }
+
+  MG_ENSURES(result.center != kNoVertex);
+  return result;
+}
+
+}  // namespace
+
+CenterResult find_center(const Graph& g, ThreadPool* pool,
+                         const CenterOptions& options) {
+  const Vertex n = g.vertex_count();
+  MG_EXPECTS(n >= 1);
+  const bool hybrid =
+      options.mode == CenterMode::kHybrid ||
+      (options.mode == CenterMode::kAuto && n > options.exhaustive_threshold);
+  return hybrid ? hybrid_center(g, pool, options)
+                : exhaustive_center(g, pool);
+}
+
+}  // namespace mg::graph

@@ -1,0 +1,97 @@
+// Exact center finding at million-node scale.
+//
+// The paper's §3.1 tree construction needs one center vertex (a vertex of
+// eccentricity == radius).  `compute_metrics` finds it by n BFS sweeps —
+// O(mn), fine for laptop-toy graphs, hopeless at n = 10^6.  `find_center`
+// keeps the answer *exact* while doing far fewer BFSes on graphs with
+// distance spread:
+//
+//   1. Reference sweeps (iFUB-style): BFS from vertex 0, from the farthest
+//      vertex a found, from the farthest vertex b from a (the classic
+//      double sweep, giving a diameter lower bound d(a, b)), from a
+//      midpoint of the a-b geodesic, and from the vertex farthest from
+//      that midpoint.  Every reference r with eccentricity e and distance
+//      vector d yields per-vertex bounds
+//          L(v) = max(d(r, v), e - d(r, v))   <= ecc(v)
+//          U(v) = d(r, v) + e                 >= ecc(v)
+//      (the BFS triangle inequality).
+//   2. Pruned candidate scan: the unevaluated vertices are ordered by
+//      (L, U, id) ascending and evaluated in fixed-size blocks; a vertex
+//      whose lower bound has reached the running best eccentricity is
+//      pruned — it can tie the radius but never beat it — and because the
+//      order is sorted by the frozen L the scan stops outright once the
+//      remaining tail is all bounded away.  Block evaluation fans out over
+//      the ThreadPool with one reusable BFS scratch buffer per slot; block
+//      boundaries are fixed before evaluation and result application is
+//      serial in candidate order, so the returned center is identical for
+//      any thread count (including none).
+//
+// Exactness: every vertex is either BFS-evaluated (its eccentricity is
+// known exactly) or pruned at a moment when L(v) >= best; `best` never
+// increases, so at termination ecc(v) >= L(v) >= final best for every
+// pruned v, and the final best — attained by an evaluated vertex — is the
+// radius.  The center tie-break differs from `compute_metrics` (which
+// returns the smallest-id vertex of minimum eccentricity): the hybrid
+// returns the first vertex attaining the radius in its deterministic
+// evaluation order.  Both are exact centers; tests assert
+// ecc(center) == radius and cross-check the radius differentially.
+//
+// On vertex-transitive families (cycles, tori, hypercubes) every vertex is
+// a center and every BFS triangle bound degenerates to L(v) < radius for
+// all but antipodal vertices, so *no* certificate-based exact scan can beat
+// Theta(n) BFSes there — docs/SCALING.md works the argument.  Those
+// families get their center analytically (any vertex); the hybrid pays off
+// on graphs whose distances concentrate (random regular, grids, the seeded
+// test families).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mg {
+class ThreadPool;
+}
+
+namespace mg::graph {
+
+enum class CenterMode : std::uint8_t {
+  kAuto,        ///< exhaustive below `exhaustive_threshold`, hybrid above
+  kExhaustive,  ///< n BFS sweeps; center = smallest-id min-ecc vertex
+  kHybrid,      ///< reference sweeps + pruned candidate scan (exact radius)
+};
+
+struct CenterOptions {
+  CenterMode mode = CenterMode::kAuto;
+  /// kAuto cutover: graphs up to this size take the exhaustive path, so the
+  /// library keeps byte-identical trees on every pre-existing workload.
+  Vertex exhaustive_threshold = 2048;
+  /// Number of evaluated candidates whose distance vectors refresh the
+  /// lower bounds during the scan (each refresh is an O(n) pass + an O(n)
+  /// distance-vector copy, so this is bounded).
+  std::uint32_t bound_update_budget = 48;
+  /// Candidates evaluated per parallel batch.  Fixed independently of the
+  /// thread count so block boundaries — and therefore the result — do not
+  /// depend on parallelism.
+  std::uint32_t block_size = 256;
+};
+
+struct CenterResult {
+  std::uint32_t radius = 0;
+  Vertex center = kNoVertex;   ///< a vertex with eccentricity == radius
+  /// Best diameter lower bound seen (max eccentricity evaluated; exact
+  /// diameter when the path was exhaustive).
+  std::uint32_t diameter_lb = 0;
+  std::uint64_t bfs_runs = 0;  ///< eccentricity BFSes actually performed
+  std::uint64_t pruned = 0;    ///< vertices eliminated by lower bounds
+  bool used_hybrid = false;
+};
+
+/// Finds an exact center of a connected graph.  When `pool` is non-null the
+/// BFS work fans out over it; the result is independent of the thread
+/// count.  Precondition: `g` is connected and n >= 1.
+[[nodiscard]] CenterResult find_center(const Graph& g,
+                                       ThreadPool* pool = nullptr,
+                                       const CenterOptions& options = {});
+
+}  // namespace mg::graph

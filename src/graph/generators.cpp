@@ -59,43 +59,92 @@ Graph wheel(Vertex n) {
   return b.build();
 }
 
+namespace {
+
+/// Emits a CSR graph directly from a per-vertex neighbor enumeration —
+/// `fn(v, out)` appends v's neighbors to `out` (any order; sorted here).
+/// O(m) with no edge-list intermediate, the construction path that keeps
+/// million-node generators allocation-lean.  The result is identical to
+/// the equivalent `from_edges` build (asserted by generators_test on small
+/// instances).
+template <typename NeighborFn>
+Graph build_csr(Vertex n, NeighborFn&& fn) {
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Vertex> adjacency;
+  std::vector<Vertex> local;
+  local.reserve(8);
+  for (Vertex v = 0; v < n; ++v) {
+    local.clear();
+    fn(v, local);
+    std::sort(local.begin(), local.end());
+    offsets[v + 1] = offsets[v] + local.size();
+    adjacency.insert(adjacency.end(), local.begin(), local.end());
+  }
+  return Graph::from_csr(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace
+
 Graph grid(Vertex rows, Vertex cols) {
   MG_EXPECTS(rows >= 1 && cols >= 1);
-  GraphBuilder b(rows * cols);
-  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
-  for (Vertex r = 0; r < rows; ++r) {
-    for (Vertex c = 0; c < cols; ++c) {
-      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
-    }
-  }
-  return b.build();
+  const std::size_t total = static_cast<std::size_t>(rows) * cols;
+  MG_EXPECTS(total <= static_cast<std::size_t>(kNoVertex));
+  return build_csr(static_cast<Vertex>(total),
+                   [rows, cols](Vertex v, std::vector<Vertex>& out) {
+                     const Vertex r = v / cols;
+                     const Vertex c = v % cols;
+                     if (r > 0) out.push_back(v - cols);
+                     if (c > 0) out.push_back(v - 1);
+                     if (c + 1 < cols) out.push_back(v + 1);
+                     if (r + 1 < rows) out.push_back(v + cols);
+                   });
 }
 
 Graph torus(Vertex rows, Vertex cols) {
   MG_EXPECTS(rows >= 3 && cols >= 3);
-  GraphBuilder b(rows * cols);
-  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
-  for (Vertex r = 0; r < rows; ++r) {
-    for (Vertex c = 0; c < cols; ++c) {
-      b.add_edge(id(r, c), id(r, (c + 1) % cols));
-      b.add_edge(id(r, c), id((r + 1) % rows, c));
-    }
-  }
-  return b.build();
+  const std::size_t total = static_cast<std::size_t>(rows) * cols;
+  MG_EXPECTS(total <= static_cast<std::size_t>(kNoVertex));
+  return build_csr(static_cast<Vertex>(total),
+                   [rows, cols](Vertex v, std::vector<Vertex>& out) {
+                     const Vertex r = v / cols;
+                     const Vertex c = v % cols;
+                     out.push_back((r == 0 ? rows - 1 : r - 1) * cols + c);
+                     out.push_back(r * cols + (c == 0 ? cols - 1 : c - 1));
+                     out.push_back(r * cols + (c + 1 == cols ? 0 : c + 1));
+                     out.push_back((r + 1 == rows ? 0 : r + 1) * cols + c);
+                   });
+}
+
+Graph torus3d(Vertex x, Vertex y, Vertex z) {
+  MG_EXPECTS(x >= 3 && y >= 3 && z >= 3);
+  const std::size_t total = static_cast<std::size_t>(x) * y * z;
+  MG_EXPECTS(total <= static_cast<std::size_t>(kNoVertex));
+  // Vertex v = (i * y + j) * z + k for coordinates (i, j, k).
+  return build_csr(static_cast<Vertex>(total),
+                   [x, y, z](Vertex v, std::vector<Vertex>& out) {
+                     const Vertex k = v % z;
+                     const Vertex j = (v / z) % y;
+                     const Vertex i = v / (y * z);
+                     auto id = [y, z](Vertex a, Vertex b, Vertex c) {
+                       return (a * y + b) * z + c;
+                     };
+                     out.push_back(id(i == 0 ? x - 1 : i - 1, j, k));
+                     out.push_back(id(i + 1 == x ? 0 : i + 1, j, k));
+                     out.push_back(id(i, j == 0 ? y - 1 : j - 1, k));
+                     out.push_back(id(i, j + 1 == y ? 0 : j + 1, k));
+                     out.push_back(id(i, j, k == 0 ? z - 1 : k - 1));
+                     out.push_back(id(i, j, k + 1 == z ? 0 : k + 1));
+                   });
 }
 
 Graph hypercube(unsigned dim) {
-  MG_EXPECTS(dim >= 1 && dim <= 20);
+  MG_EXPECTS(dim >= 1 && dim <= 24);
   const Vertex n = Vertex{1} << dim;
-  GraphBuilder b(n);
-  for (Vertex v = 0; v < n; ++v) {
+  return build_csr(n, [dim](Vertex v, std::vector<Vertex>& out) {
     for (unsigned bit = 0; bit < dim; ++bit) {
-      const Vertex u = v ^ (Vertex{1} << bit);
-      if (v < u) b.add_edge(v, u);
+      out.push_back(v ^ (Vertex{1} << bit));
     }
-  }
-  return b.build();
+  });
 }
 
 Graph k_ary_tree(Vertex n, Vertex k) {
@@ -252,6 +301,81 @@ Graph random_regular(Vertex n, Vertex d, Rng& rng) {
     edges.emplace_back(v, static_cast<Vertex>((v + 1) % n));
   }
   return Graph::from_edges(n, edges);
+}
+
+Graph random_regular_configuration(Vertex n, Vertex d, Rng& rng) {
+  MG_EXPECTS(n >= 4 && d >= 3 && d < n);
+  MG_EXPECTS_MSG((static_cast<std::size_t>(n) * d) % 2 == 0,
+                 "n*d must be even");
+  const std::size_t stub_count = static_cast<std::size_t>(n) * d;
+  std::vector<Vertex> stubs(stub_count);
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Vertex> adjacency(stub_count);
+  std::vector<std::size_t> cursor(n);
+  std::vector<std::uint32_t> dist;
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  // Rejection sampling: for fixed d >= 3 a uniform pairing is simple with
+  // probability bounded away from zero and then a.a.s. connected, so a
+  // handful of attempts suffice; the cap only guards degenerate inputs.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    for (std::size_t i = 0; i < stub_count; ++i) {
+      stubs[i] = static_cast<Vertex>(i / d);
+    }
+    rng.shuffle(stubs);
+
+    // Every vertex has exactly d stubs, so the CSR shape is fixed.
+    for (Vertex v = 0; v < n; ++v) {
+      offsets[v + 1] = offsets[v] + d;
+      cursor[v] = offsets[v];
+    }
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stub_count; i += 2) {
+      const Vertex u = stubs[i];
+      const Vertex w = stubs[i + 1];
+      if (u == w) {
+        simple = false;
+        break;
+      }
+      adjacency[cursor[u]++] = w;
+      adjacency[cursor[w]++] = u;
+    }
+    if (!simple) continue;
+    for (Vertex v = 0; v < n && simple; ++v) {
+      const auto begin =
+          adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+      const auto end =
+          adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+      std::sort(begin, end);  // d entries: O(d log d) per vertex
+      simple = std::adjacent_find(begin, end) == end;
+    }
+    if (!simple) continue;
+
+    // Connectivity over the candidate CSR before committing to it.
+    dist.assign(n, static_cast<std::uint32_t>(-1));
+    frontier.assign(1, 0);
+    dist[0] = 0;
+    Vertex reached = 1;
+    while (!frontier.empty()) {
+      next.clear();
+      for (Vertex u : frontier) {
+        for (std::size_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+          const Vertex w = adjacency[i];
+          if (dist[w] == static_cast<std::uint32_t>(-1)) {
+            dist[w] = dist[u] + 1;
+            next.push_back(w);
+            ++reached;
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    if (reached != n) continue;
+    return Graph::from_csr(std::move(offsets), std::move(adjacency));
+  }
+  mg::detail::contract_fail("invariant", "attempt < 256", __FILE__, __LINE__,
+                            "configuration model failed to produce a simple "
+                            "connected d-regular graph");
 }
 
 }  // namespace mg::graph

@@ -37,7 +37,11 @@ namespace mg::graph {
 /// rows x cols torus (wrap-around grid).  Requires rows, cols >= 3.
 [[nodiscard]] Graph torus(Vertex rows, Vertex cols);
 
-/// Hypercube Q_d on 2^d vertices.  Requires 1 <= dim <= 20.
+/// x * y * z 3D torus (6-neighborhood with wrap-around), the standard HPC
+/// interconnect at million-node scale.  Requires x, y, z >= 3.
+[[nodiscard]] Graph torus3d(Vertex x, Vertex y, Vertex z);
+
+/// Hypercube Q_d on 2^d vertices.  Requires 1 <= dim <= 24.
 [[nodiscard]] Graph hypercube(unsigned dim);
 
 /// Complete k-ary tree truncated to n vertices in level order.
@@ -69,5 +73,15 @@ namespace mg::graph {
 /// self-loops or duplicates are dropped, then connectivity is enforced by a
 /// spanning cycle.  Requires n*d even, d < n.
 [[nodiscard]] Graph random_regular(Vertex n, Vertex d, Rng& rng);
+
+/// Exactly d-regular random graph via the configuration model: all n*d
+/// stubs are shuffled and paired, and the whole pairing is resampled until
+/// it is simple (no self-loops or multi-edges) and connected — so every
+/// vertex has degree exactly d, unlike `random_regular`'s spanning-cycle
+/// overlay.  O(m) per attempt; for d >= 3 the acceptance probability tends
+/// to a constant (~ e^{-(d^2-1)/4}), so expected work is O(m).  Requires
+/// n*d even, 3 <= d < n.
+[[nodiscard]] Graph random_regular_configuration(Vertex n, Vertex d,
+                                                 Rng& rng);
 
 }  // namespace mg::graph

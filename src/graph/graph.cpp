@@ -58,6 +58,29 @@ Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_csr(std::vector<std::size_t> offsets,
+                      std::vector<Vertex> adjacency) {
+  MG_EXPECTS_MSG(!offsets.empty(), "offsets must have n+1 entries");
+  MG_EXPECTS_MSG(offsets.front() == 0 && offsets.back() == adjacency.size(),
+                 "offsets must span the adjacency array");
+  const auto n = static_cast<Vertex>(offsets.size() - 1);
+  MG_EXPECTS_MSG(adjacency.size() % 2 == 0,
+                 "undirected CSR needs both edge directions");
+  for (Vertex v = 0; v < n; ++v) {
+    MG_EXPECTS_MSG(offsets[v] <= offsets[v + 1], "offsets must be monotone");
+    for (std::size_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      MG_EXPECTS_MSG(adjacency[i] < n, "neighbor out of range");
+      MG_EXPECTS_MSG(adjacency[i] != v, "self-loops are not allowed");
+      MG_EXPECTS_MSG(i == offsets[v] || adjacency[i - 1] < adjacency[i],
+                     "neighbors must be strictly ascending");
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 std::span<const Vertex> Graph::neighbors(Vertex v) const {
   MG_EXPECTS(v < vertex_count());
   return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};

@@ -57,6 +57,15 @@ class Graph {
   /// Builds from an explicit edge list (deduplicated; self-loops rejected).
   static Graph from_edges(Vertex n, std::span<const Edge> edges);
 
+  /// Adopts a prebuilt CSR adjacency in O(m): `offsets` has n+1 entries and
+  /// each vertex's neighbor run must be strictly ascending, in range, and
+  /// self-loop free (all validated).  Symmetry (u in adj[v] iff v in adj[u])
+  /// is the caller's contract — this is the million-node fast path for
+  /// generators that emit both directions by construction, bypassing
+  /// `from_edges`'s O(m log m) sort + dedup.
+  static Graph from_csr(std::vector<std::size_t> offsets,
+                        std::vector<Vertex> adjacency);
+
   /// Number of vertices n.
   [[nodiscard]] Vertex vertex_count() const {
     return static_cast<Vertex>(offsets_.size() - 1);

@@ -47,15 +47,52 @@ Metrics compute_metrics(const Graph& g, ThreadPool* pool) {
   Metrics metrics;
   metrics.eccentricity.assign(n, 0);
 
-  auto sweep = [&](std::size_t v) {
-    const auto ecc = eccentricity(g, static_cast<Vertex>(v));
-    MG_EXPECTS_MSG(ecc.has_value(), "compute_metrics requires connectivity");
-    metrics.eccentricity[v] = *ecc;
+  // One reusable BFS scratch (dist + frontier buffers) per parallel slot
+  // instead of three allocations per source; sources are strided over the
+  // slots so the eccentricity array is identical for any thread count.
+  struct Scratch {
+    std::vector<std::uint32_t> dist;
+    std::vector<Vertex> frontier;
+    std::vector<Vertex> next;
   };
-  if (pool != nullptr) {
-    pool->parallel_for(n, sweep);
+  const std::size_t slots =
+      pool == nullptr || pool->thread_count() <= 1
+          ? 1
+          : std::min<std::size_t>(pool->thread_count(), n);
+  std::vector<Scratch> scratch(slots);
+  auto sweep_slot = [&](std::size_t slot) {
+    Scratch& s = scratch[slot];
+    for (Vertex source = static_cast<Vertex>(slot); source < n;
+         source += static_cast<Vertex>(slots)) {
+      s.dist.assign(n, kUnreachable);
+      s.frontier.assign(1, source);
+      s.dist[source] = 0;
+      std::uint32_t level = 0;
+      std::uint32_t ecc = 0;
+      Vertex reached = 1;
+      while (!s.frontier.empty()) {
+        ++level;
+        s.next.clear();
+        for (Vertex u : s.frontier) {
+          for (Vertex v : g.neighbors(u)) {
+            if (s.dist[v] == kUnreachable) {
+              s.dist[v] = level;
+              s.next.push_back(v);
+              ++reached;
+            }
+          }
+        }
+        if (!s.next.empty()) ecc = level;
+        s.frontier.swap(s.next);
+      }
+      MG_EXPECTS_MSG(reached == n, "compute_metrics requires connectivity");
+      metrics.eccentricity[source] = ecc;
+    }
+  };
+  if (slots > 1) {
+    pool->parallel_for(slots, sweep_slot);
   } else {
-    for (Vertex v = 0; v < n; ++v) sweep(v);
+    sweep_slot(0);
   }
 
   metrics.radius = kUnreachable;

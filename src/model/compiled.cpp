@@ -1,0 +1,32 @@
+#include "model/compiled.h"
+
+#include "support/contracts.h"
+
+namespace mg::model {
+
+CompiledSchedule CompiledSchedule::compile(const Schedule& schedule) {
+  CompiledSchedule c;
+  const std::size_t rounds = schedule.round_count();
+  c.round_offsets_.assign(rounds + 1, 0);
+  std::size_t deliveries = 0;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    c.round_offsets_[t + 1] = c.round_offsets_[t] + schedule.round(t).size();
+    for (const auto& tx : schedule.round(t)) deliveries += tx.receivers.size();
+  }
+  MG_EXPECTS_MSG(deliveries <= static_cast<std::size_t>(UINT32_MAX),
+                 "compiled receiver index would overflow 32 bits");
+  c.tx_.reserve(c.round_offsets_[rounds]);
+  c.receivers_.reserve(deliveries);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    for (const auto& tx : schedule.round(t)) {
+      c.tx_.push_back({tx.message, tx.sender,
+                       static_cast<std::uint32_t>(c.receivers_.size()),
+                       static_cast<std::uint32_t>(tx.receivers.size())});
+      c.receivers_.insert(c.receivers_.end(), tx.receivers.begin(),
+                          tx.receivers.end());
+    }
+  }
+  return c;
+}
+
+}  // namespace mg::model

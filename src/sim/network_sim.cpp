@@ -1,6 +1,7 @@
 #include "sim/network_sim.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -151,7 +152,7 @@ SimResult run_simulation(const graph::Graph& g,
     result.missing[v] = message_count - known[v];
     if (result.missing[v] != 0) result.completed = false;
   }
-  result.final_holds = std::move(hold);
+  if (options.keep_final_holds) result.final_holds = std::move(hold);
 
   MG_OBS_ADD("sim.runs", 1);
   MG_OBS_ADD("sim.deliveries", deliveries);
@@ -171,6 +172,256 @@ SimResult run_simulation(const graph::Graph& g,
   return result;
 }
 
+/// Word-at-a-time execution core.  Same semantics, events and counters as
+/// `run_simulation` (the bit core above is kept verbatim as the oracle;
+/// sim_core_test pins full-result equality), but the hold state is one
+/// contiguous n x W uint64 matrix (W = ceil(message_count / 64)): a
+/// delivery is a single OR + popcount-free knowledge update, initial
+/// knowledge is popcounted word-wise, and in-flight arrivals live in a
+/// reused modular ring instead of a horizon-sized vector-of-vectors.  The
+/// allocation profile is O(1) vectors per run however large n gets.
+SimResult run_simulation_words(const graph::Graph& g,
+                               const model::CompiledSchedule& schedule,
+                               std::vector<std::uint64_t> hold,
+                               std::size_t message_count,
+                               std::vector<std::size_t> known,
+                               const SimOptions& options) {
+  MG_OBS_SPAN(sim_span, "sim.simulate");
+  MG_OBS_SCOPE_HIST(sim_hist, "sim.run_ns");
+  const Vertex n = g.vertex_count();
+  const std::size_t words = (message_count + 63) / 64;
+  MG_EXPECTS(hold.size() == static_cast<std::size_t>(n) * words);
+  MG_EXPECTS(known.size() == n);
+  SimResult result;
+  result.completion_time.assign(n, 0);
+  result.missing.assign(n, 0);
+
+  fault::DropSet legacy_drops;
+  for (const auto& [round, sender] : options.drop) {
+    legacy_drops.insert(round, sender);
+  }
+  const fault::FaultPlan* plan =
+      options.faults != nullptr && !options.faults->empty() ? options.faults
+                                                            : nullptr;
+  const std::size_t offset = options.fault_round_offset;
+
+  std::size_t total_known = 0;
+  for (Vertex v = 0; v < n; ++v) total_known += known[v];
+
+  const std::size_t rounds = schedule.round_count();
+  const std::size_t max_delay = plan != nullptr ? plan->max_extra_delay() : 0;
+  const std::size_t horizon = rounds + max_delay;
+
+  // Arrival buckets in a modular ring: when time t is applied every
+  // pending arrival lies in [t, t + max_delay + 1], so max_delay + 2 slots
+  // never collide — and the buckets are reused across the whole run.  The
+  // size is rounded up to a power of two so the per-delivery index is a
+  // mask, not a hardware division.
+  const std::size_t ring_size = std::bit_ceil(max_delay + 2);
+  const std::size_t ring_mask = ring_size - 1;
+  std::vector<std::vector<std::pair<Vertex, Message>>> ring(ring_size);
+  std::uint64_t word_ops = 0;  // delivery ORs applied to the hold matrix
+  auto apply_arrivals = [&](std::size_t receive_time) {
+    auto& bucket = ring[receive_time & ring_mask];
+    for (const auto& [r, m] : bucket) {
+      std::uint64_t& w =
+          hold[static_cast<std::size_t>(r) * words + (m >> 6)];
+      const std::uint64_t mask = std::uint64_t{1} << (m & 63);
+      ++word_ops;
+      if ((w & mask) == 0) {
+        w |= mask;
+        ++known[r];
+        ++total_known;
+        if (known[r] == message_count) {
+          result.completion_time[r] = receive_time;
+        }
+      }
+    }
+    bucket.clear();
+  };
+
+  std::uint64_t deliveries = 0;
+  const bool has_legacy_drops = !legacy_drops.empty();
+  result.knowledge.reserve(rounds + 1);
+  result.knowledge.push_back(total_known);  // state at time 0
+
+  // Fault-free, untraced runs — the repeated-runner configuration — take a
+  // stripped copy of the round loop below with the plan/drop/trace/sink
+  // branches statically absent.  Identical events and counters; the
+  // general loop is the reference and sim_core_test pins the equality.
+  const bool fast_path = plan == nullptr && !has_legacy_drops &&
+                         options.sink == nullptr && !options.record_trace;
+  if (fast_path) {
+    for (std::size_t t = 0; t < rounds; ++t) {
+      if (t > 0) {
+        apply_arrivals(t);
+        result.knowledge.push_back(total_known);  // state at time t
+      }
+      auto& bucket = ring[(t + 1) & ring_mask];
+      for (const auto& tx : schedule.round(t)) {
+        MG_EXPECTS(tx.sender < n);
+        MG_EXPECTS(tx.message < message_count);
+        const bool sender_holds =
+            (hold[static_cast<std::size_t>(tx.sender) * words +
+                  (tx.message >> 6)] >>
+             (tx.message & 63)) &
+            1;
+        if (!sender_holds) {
+          ++result.skipped_sends;  // fault cascade: nothing to forward
+          continue;
+        }
+        const auto receivers = schedule.receivers(tx);
+        for (Vertex r : receivers) {
+          MG_EXPECTS(r < n);
+          bucket.emplace_back(r, tx.message);
+        }
+        deliveries += receivers.size();
+        if (!receivers.empty()) {
+          result.total_time = std::max(result.total_time, t + 1);
+        }
+      }
+    }
+  }
+  for (std::size_t t = 0; !fast_path && t < rounds; ++t) {
+    if (t > 0) {
+      apply_arrivals(t);
+      result.knowledge.push_back(total_known);  // state at time t
+    }
+    const std::size_t abs_t = offset + t;
+    for (const auto& tx : schedule.round(t)) {
+      const auto receivers = schedule.receivers(tx);
+      const Vertex first_receiver =
+          receivers.empty() ? tx.sender : receivers.front();
+      if (plan != nullptr && plan->crashed(tx.sender, abs_t)) {
+        ++result.crashed_sends;
+        if (options.sink != nullptr) {
+          options.sink->on_event({"crash", t, tx.sender, tx.message,
+                                  first_receiver, receivers.size()});
+        }
+        continue;
+      }
+      if ((has_legacy_drops && legacy_drops.contains(t, tx.sender)) ||
+          (plan != nullptr && plan->drops(abs_t, tx.sender))) {
+        ++result.injected_drops;
+        if (options.sink != nullptr) {
+          options.sink->on_event({"drop", t, tx.sender, tx.message,
+                                  first_receiver, receivers.size()});
+        }
+        continue;
+      }
+      MG_EXPECTS(tx.sender < n);
+      MG_EXPECTS(tx.message < message_count);
+      const bool sender_holds =
+          (hold[static_cast<std::size_t>(tx.sender) * words +
+                (tx.message >> 6)] >>
+           (tx.message & 63)) &
+          1;
+      if (!sender_holds) {
+        ++result.skipped_sends;  // fault cascade: nothing to forward
+        if (options.sink != nullptr) {
+          options.sink->on_event({"skip", t, tx.sender, tx.message,
+                                  first_receiver, receivers.size()});
+        }
+        continue;
+      }
+      if (options.record_trace) {
+        result.trace.push_back(
+            {SimEvent::Kind::kSend, t, tx.sender, tx.message, first_receiver});
+      }
+      if (options.sink != nullptr) {
+        options.sink->on_event({"send", t, tx.sender, tx.message,
+                                first_receiver, receivers.size()});
+      }
+      for (Vertex r : receivers) {
+        MG_EXPECTS(r < n);
+        const std::size_t arrival =
+            t + 1 +
+            (plan != nullptr ? plan->extra_delay(tx.sender, r) : 0);
+        if (plan != nullptr && plan->crashed(r, offset + arrival)) {
+          ++result.lost_receives;  // receiver dead (or dies in flight)
+          if (options.sink != nullptr) {
+            options.sink->on_event(
+                {"lost", arrival, r, tx.message, tx.sender, 0});
+          }
+          continue;
+        }
+        result.total_time = std::max(result.total_time, arrival);
+        if (options.record_trace) {
+          result.trace.push_back(
+              {SimEvent::Kind::kReceive, arrival, r, tx.message, tx.sender});
+        }
+        if (options.sink != nullptr) {
+          options.sink->on_event({"receive", arrival, r, tx.message,
+                                  tx.sender, 0});
+        }
+        ++deliveries;
+        ring[arrival & ring_mask].emplace_back(r, tx.message);
+      }
+    }
+  }
+  // Drain: arrivals at and past the last send round.
+  for (std::size_t t = std::max<std::size_t>(rounds, 1); t <= horizon; ++t) {
+    apply_arrivals(t);
+    result.knowledge.push_back(total_known);  // state at time t
+  }
+
+  result.completed = true;
+  for (Vertex v = 0; v < n; ++v) {
+    result.missing[v] = message_count - known[v];
+    if (result.missing[v] != 0) result.completed = false;
+  }
+  if (options.keep_final_holds) {
+    result.final_holds.reserve(n);
+    for (Vertex v = 0; v < n; ++v) {
+      result.final_holds.push_back(DynamicBitset::from_words(
+          message_count,
+          {hold.begin() + static_cast<std::ptrdiff_t>(
+                              static_cast<std::size_t>(v) * words),
+           hold.begin() + static_cast<std::ptrdiff_t>(
+                              (static_cast<std::size_t>(v) + 1) * words)}));
+    }
+  }
+
+  MG_OBS_ADD("sim.runs", 1);
+  MG_OBS_ADD("sim.deliveries", deliveries);
+  MG_OBS_ADD("sim.words_or_ops", word_ops);
+  MG_OBS_ADD("sim.dropped_transmissions", result.injected_drops);
+  MG_OBS_ADD("sim.skipped_sends", result.skipped_sends);
+  if (result.injected_drops > 0) {
+    MG_OBS_ADD("fault.injected_drops", result.injected_drops);
+  }
+  if (plan != nullptr && plan->has_crashes()) {
+    MG_OBS_ADD("fault.crashes", plan->crashes_before(offset + rounds));
+  }
+  if (result.completed && !result.completion_time.empty()) {
+    MG_OBS_ADD("sim.completion_round",
+               *std::max_element(result.completion_time.begin(),
+                                 result.completion_time.end()));
+  }
+  return result;
+}
+
+/// Flattens per-node bitsets into the word core's hold matrix + popcounts.
+SimResult run_words_from_bitsets(const graph::Graph& g,
+                                 const model::CompiledSchedule& schedule,
+                                 const std::vector<DynamicBitset>& holds,
+                                 std::size_t message_count,
+                                 const SimOptions& options) {
+  const Vertex n = g.vertex_count();
+  const std::size_t words = (message_count + 63) / 64;
+  std::vector<std::uint64_t> hold(static_cast<std::size_t>(n) * words, 0);
+  std::vector<std::size_t> known(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto& src = holds[v].words();
+    std::copy(src.begin(), src.end(),
+              hold.begin() + static_cast<std::ptrdiff_t>(
+                                 static_cast<std::size_t>(v) * words));
+    known[v] = holds[v].count();
+  }
+  return run_simulation_words(g, schedule, std::move(hold), message_count,
+                              std::move(known), options);
+}
+
 }  // namespace
 
 SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
@@ -183,9 +434,22 @@ SimResult simulate(const graph::Graph& g, const model::Schedule& schedule,
     for (Vertex v = 0; v < n; ++v) origin[v] = v;
   }
   MG_EXPECTS(origin.size() == n);
-  std::vector<DynamicBitset> hold(n, DynamicBitset(n));
-  for (Vertex v = 0; v < n; ++v) hold[v].set(origin[v]);
-  return run_simulation(g, schedule, std::move(hold), n, options);
+  if (options.core == SimCore::kBitwise) {
+    std::vector<DynamicBitset> hold(n, DynamicBitset(n));
+    for (Vertex v = 0; v < n; ++v) hold[v].set(origin[v]);
+    return run_simulation(g, schedule, std::move(hold), n, options);
+  }
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> hold(static_cast<std::size_t>(n) * words, 0);
+  std::vector<std::size_t> known(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    MG_EXPECTS(origin[v] < n);
+    hold[static_cast<std::size_t>(v) * words + (origin[v] >> 6)] |=
+        std::uint64_t{1} << (origin[v] & 63);
+    known[v] = 1;
+  }
+  return run_simulation_words(g, model::CompiledSchedule::compile(schedule),
+                              std::move(hold), n, std::move(known), options);
 }
 
 SimResult simulate_from_holds(const graph::Graph& g,
@@ -196,7 +460,23 @@ SimResult simulate_from_holds(const graph::Graph& g,
   MG_EXPECTS(initial_holds.size() == n);
   const std::size_t message_count = n == 0 ? 0 : initial_holds[0].size();
   for (const auto& h : initial_holds) MG_EXPECTS(h.size() == message_count);
-  return run_simulation(g, schedule, initial_holds, message_count, options);
+  if (options.core == SimCore::kBitwise) {
+    return run_simulation(g, schedule, initial_holds, message_count, options);
+  }
+  return run_words_from_bitsets(g, model::CompiledSchedule::compile(schedule),
+                                initial_holds, message_count, options);
+}
+
+SimResult simulate_compiled(const graph::Graph& g,
+                            const model::CompiledSchedule& schedule,
+                            const std::vector<DynamicBitset>& initial_holds,
+                            const SimOptions& options) {
+  const Vertex n = g.vertex_count();
+  MG_EXPECTS(initial_holds.size() == n);
+  const std::size_t message_count = n == 0 ? 0 : initial_holds[0].size();
+  for (const auto& h : initial_holds) MG_EXPECTS(h.size() == message_count);
+  return run_words_from_bitsets(g, schedule, initial_holds, message_count,
+                                options);
 }
 
 }  // namespace mg::sim

@@ -13,6 +13,7 @@
 
 #include "fault/fault.h"
 #include "graph/graph.h"
+#include "model/compiled.h"
 #include "model/schedule.h"
 #include "obs/trace.h"
 #include "support/bitset.h"
@@ -22,7 +23,26 @@ namespace mg::sim {
 using graph::Vertex;
 using model::Message;
 
+/// Execution core selection.  Both cores are event-for-event identical
+/// (same results, traces, sink streams and counters — pinned by
+/// sim_core_test's differential sweep); kBitwise is the original
+/// bitset-per-node implementation kept as the oracle.
+enum class SimCore : std::uint8_t {
+  /// Flat word-at-a-time core: one contiguous n x ceil(mc/64) uint64 hold
+  /// matrix, schedule compiled to CSR, deliveries as single-word OR with
+  /// popcount-maintained knowledge counters.  The default.
+  kWordParallel,
+  /// Legacy core: one DynamicBitset per node, per-bit test/set.
+  kBitwise,
+};
+
 struct SimOptions {
+  /// Which execution core runs the schedule.
+  SimCore core = SimCore::kWordParallel;
+  /// When false, `SimResult::final_holds` is left empty — at million-node
+  /// scale materializing n bitsets can dwarf the simulation itself, and
+  /// callers that only want completion/timing can skip it.
+  bool keep_final_holds = true;
   /// Record the full send/receive event trace (O(deliveries) memory).
   bool record_trace = false;
   /// Transmissions to drop, addressed as (round, sender).  Every matching
@@ -106,6 +126,14 @@ struct SimResult {
 /// `initial_holds[0].size()` messages.
 [[nodiscard]] SimResult simulate_from_holds(
     const graph::Graph& g, const model::Schedule& schedule,
+    const std::vector<DynamicBitset>& initial_holds,
+    const SimOptions& options = {});
+
+/// Word-parallel execution of an already-compiled schedule — the repeated
+/// runner's fast path (compile once, simulate under many fault plans).
+/// `options.core` is ignored: this entry point is the word core.
+[[nodiscard]] SimResult simulate_compiled(
+    const graph::Graph& g, const model::CompiledSchedule& schedule,
     const std::vector<DynamicBitset>& initial_holds,
     const SimOptions& options = {});
 

@@ -54,12 +54,35 @@ class DynamicBitset {
     return true;
   }
 
+  /// Word-parallel union: one OR per 64 bits.  Sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    MG_EXPECTS(bits_ == other.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] |= other.words_[w];
+    }
+    return *this;
+  }
+
   [[nodiscard]] bool operator==(const DynamicBitset&) const = default;
 
   /// Raw 64-bit words, little-endian bit order — the wire format the dist
   /// recovery digests use.
   [[nodiscard]] const std::vector<std::uint64_t>& words() const {
     return words_;
+  }
+
+  /// Reconstructs a bitset from raw words (the inverse of `words()`).  Bits
+  /// past `bits` in the last word must be zero.
+  static DynamicBitset from_words(std::size_t bits,
+                                  std::vector<std::uint64_t> words) {
+    DynamicBitset b;
+    MG_EXPECTS(words.size() == (bits + 63) / 64);
+    if (bits % 64 != 0 && !words.empty()) {
+      MG_EXPECTS((words.back() >> (bits % 64)) == 0);
+    }
+    b.bits_ = bits;
+    b.words_ = std::move(words);
+    return b;
   }
 
  private:

@@ -1,12 +1,16 @@
 // Rooted spanning trees and the paper's §3.1 construction: the
-// minimum-depth spanning tree obtained by BFS from every vertex (O(mn))
-// keeping a tree of least height, whose height equals the network radius.
-// All gossip communication is then performed on this tree network.
+// minimum-depth spanning tree obtained by BFS from a center vertex, whose
+// height equals the network radius.  All gossip communication is then
+// performed on this tree network.  The center comes from
+// `graph::find_center` — exhaustive on small graphs (byte-identical to the
+// historical n-BFS sweep), hybrid double-sweep + pruned scan at scale.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "graph/center.h"
 #include "graph/graph.h"
 
 namespace mg {
@@ -20,7 +24,10 @@ using graph::Vertex;
 
 /// A rooted tree over vertices 0..n-1 with an explicit, stable child order
 /// (the order fixes the DFS labeling of §3.2: "for every vertex, fix the
-/// ordering of the subtrees in any arbitrary order").
+/// ordering of the subtrees in any arbitrary order").  Children are stored
+/// as one flat CSR array (offsets + child list) rather than n vectors —
+/// ~24 bytes per vertex all-in, which is what keeps 10^7-vertex trees
+/// resident.
 class RootedTree {
  public:
   /// Builds from a parent array (`parent[root] == graph::kNoVertex`).
@@ -34,11 +41,14 @@ class RootedTree {
   }
   [[nodiscard]] Vertex root() const { return root_; }
   [[nodiscard]] Vertex parent(Vertex v) const { return parent_[v]; }
-  [[nodiscard]] const std::vector<Vertex>& children(Vertex v) const {
-    return children_[v];
+  [[nodiscard]] std::span<const Vertex> children(Vertex v) const {
+    return {child_list_.data() + child_offsets_[v],
+            child_offsets_[v + 1] - child_offsets_[v]};
   }
   [[nodiscard]] bool is_root(Vertex v) const { return v == root_; }
-  [[nodiscard]] bool is_leaf(Vertex v) const { return children_[v].empty(); }
+  [[nodiscard]] bool is_leaf(Vertex v) const {
+    return child_offsets_[v] == child_offsets_[v + 1];
+  }
 
   /// Level (depth) of `v`: root = 0, its children = 1, ... (paper §3.2).
   [[nodiscard]] std::uint32_t level(Vertex v) const { return level_[v]; }
@@ -56,7 +66,8 @@ class RootedTree {
  private:
   Vertex root_ = 0;
   std::vector<Vertex> parent_;
-  std::vector<std::vector<Vertex>> children_;
+  std::vector<std::uint32_t> child_offsets_;  // size n+1
+  std::vector<Vertex> child_list_;            // size n-1, by parent, ascending
   std::vector<std::uint32_t> level_;
   std::uint32_t height_ = 0;
 };
@@ -67,12 +78,17 @@ class RootedTree {
 [[nodiscard]] RootedTree bfs_tree(const Graph& g, Vertex root);
 
 /// §3.1: a spanning tree of least possible height over a connected graph —
-/// BFS from a center vertex (the smallest-id vertex of minimum
-/// eccentricity, located by n BFS traversals).  When `pool` is non-null the
-/// eccentricity sweeps run in parallel.  The result's height() equals the
-/// graph radius.
+/// BFS from a center vertex located by `graph::find_center` (exhaustive
+/// below the auto threshold: the smallest-id vertex of minimum
+/// eccentricity; hybrid pruned scan above it).  When `pool` is non-null
+/// the BFS sweeps run in parallel; the tree is identical for any thread
+/// count.  The result's height() equals the graph radius.
 [[nodiscard]] RootedTree min_depth_spanning_tree(const Graph& g,
                                                  ThreadPool* pool = nullptr);
+
+/// Same, with explicit control over the center search (mode, thresholds).
+[[nodiscard]] RootedTree min_depth_spanning_tree(
+    const Graph& g, ThreadPool* pool, const graph::CenterOptions& center);
 
 /// Interprets a tree-shaped free graph as a RootedTree rooted at `root`.
 /// Precondition: `g` is a tree.

@@ -1,0 +1,174 @@
+// Differential tests for graph::find_center: the hybrid pruned scan must
+// produce the exact radius the exhaustive n-BFS sweep produces, on every
+// graph — including the vertex-transitive families where pruning cannot
+// help and the scan degenerates to evaluating (nearly) everything.  The
+// center vertex itself may differ between the two paths (both are exact
+// centers; the tie-break differs — see center.h), so the cross-checks are
+//   * radii equal,
+//   * ecc(returned center) == radius,
+//   * the exhaustive path is byte-identical to compute_metrics,
+//   * serial == 4-thread pool for both paths (determinism).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/center.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "graph/properties.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+
+namespace mg {
+namespace {
+
+graph::Graph make_graph(std::uint64_t seed) {
+  Rng rng(0xd1ffULL * (seed + 1));
+  const auto n = static_cast<graph::Vertex>(5 + (seed * 7) % 44);
+  switch (seed % 4) {
+    case 0:
+      return graph::random_connected_gnp(n, 3.0 / static_cast<double>(n),
+                                         rng);
+    case 1:
+      return graph::random_tree(n, rng);
+    case 2:
+      return graph::random_geometric(n, 0.3, rng);
+    default:
+      return graph::random_connected_gnp(n, 0.5, rng);
+  }
+}
+
+std::vector<std::pair<std::string, graph::Graph>> named_sweep() {
+  Rng rng(0xcafeULL);
+  return {
+      {"path/17", graph::path(17)},
+      {"cycle/24", graph::cycle(24)},
+      {"complete/9", graph::complete(9)},
+      {"star/12", graph::star(12)},
+      {"grid/7x9", graph::grid(7, 9)},
+      {"torus/5x7", graph::torus(5, 7)},
+      {"torus3d/3x4x5", graph::torus3d(3, 4, 5)},
+      {"hypercube/5", graph::hypercube(5)},
+      {"petersen", graph::petersen()},
+      {"n3_witness", graph::n3_witness()},
+      {"fig4", graph::fig4_network()},
+      {"caterpillar/8x3", graph::caterpillar(8, 3)},
+      {"binomial/4", graph::binomial_tree(4)},
+      {"lollipop/6+9", graph::lollipop(6, 9)},
+      {"random_regular_cfg/40x3",
+       graph::random_regular_configuration(40, 3, rng)},
+  };
+}
+
+void check_graph(const graph::Graph& g, const std::string& label) {
+  SCOPED_TRACE(label);
+  const graph::Metrics metrics = graph::compute_metrics(g);
+
+  graph::CenterOptions exhaustive;
+  exhaustive.mode = graph::CenterMode::kExhaustive;
+  const graph::CenterResult full = graph::find_center(g, nullptr, exhaustive);
+
+  // Exhaustive path == the historical n-BFS sweep, center included.
+  EXPECT_EQ(full.radius, metrics.radius);
+  EXPECT_EQ(full.center, metrics.center);
+  EXPECT_EQ(full.diameter_lb, metrics.diameter);
+  EXPECT_EQ(full.bfs_runs, g.vertex_count());
+  EXPECT_FALSE(full.used_hybrid);
+
+  // Hybrid path: exact radius, possibly a different (equally valid) center.
+  graph::CenterOptions hybrid;
+  hybrid.mode = graph::CenterMode::kHybrid;
+  const graph::CenterResult fast = graph::find_center(g, nullptr, hybrid);
+  EXPECT_EQ(fast.radius, metrics.radius);
+  EXPECT_TRUE(fast.used_hybrid);
+  ASSERT_LT(fast.center, g.vertex_count());
+  EXPECT_EQ(metrics.eccentricity[fast.center], metrics.radius)
+      << "hybrid returned a non-center vertex " << fast.center;
+  EXPECT_GE(fast.diameter_lb, metrics.radius);
+  EXPECT_LE(fast.diameter_lb, metrics.diameter);
+  EXPECT_EQ(fast.bfs_runs + fast.pruned,
+            static_cast<std::uint64_t>(g.vertex_count()))
+      << "every vertex is either evaluated or pruned";
+
+  // Determinism: a pool must not change either answer.
+  ThreadPool pool(4);
+  const graph::CenterResult full_mt = graph::find_center(g, &pool, exhaustive);
+  EXPECT_EQ(full_mt.radius, full.radius);
+  EXPECT_EQ(full_mt.center, full.center);
+  const graph::CenterResult fast_mt = graph::find_center(g, &pool, hybrid);
+  EXPECT_EQ(fast_mt.radius, fast.radius);
+  EXPECT_EQ(fast_mt.center, fast.center);
+  EXPECT_EQ(fast_mt.bfs_runs, fast.bfs_runs);
+  EXPECT_EQ(fast_mt.pruned, fast.pruned);
+}
+
+TEST(Center, NamedGraphs) {
+  for (const auto& [label, g] : named_sweep()) check_graph(g, label);
+}
+
+TEST(Center, SeededSweep) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    check_graph(make_graph(seed), "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Center, AutoModeMatchesExhaustiveBelowThreshold) {
+  // kAuto on small graphs must stay byte-identical to the historical
+  // smallest-id center so every pre-existing tree is unchanged.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const graph::Graph g = make_graph(seed);
+    const graph::CenterResult automatic = graph::find_center(g);
+    const graph::Metrics metrics = graph::compute_metrics(g);
+    EXPECT_EQ(automatic.center, metrics.center);
+    EXPECT_EQ(automatic.radius, metrics.radius);
+    EXPECT_FALSE(automatic.used_hybrid);
+  }
+}
+
+TEST(Center, AutoModeSwitchesToHybridAboveThreshold) {
+  const graph::Graph g = graph::grid(20, 20);
+  graph::CenterOptions options;  // kAuto
+  options.exhaustive_threshold = 100;
+  const graph::CenterResult result = graph::find_center(g, nullptr, options);
+  EXPECT_TRUE(result.used_hybrid);
+  EXPECT_EQ(result.radius, graph::compute_metrics(g).radius);
+}
+
+TEST(Center, PruningBitesOnGrids) {
+  // Grids have distance spread, the hybrid's favorable case: the scan must
+  // evaluate far fewer vertices than the exhaustive sweep would.
+  const graph::Graph g = graph::grid(40, 40);
+  graph::CenterOptions hybrid;
+  hybrid.mode = graph::CenterMode::kHybrid;
+  const graph::CenterResult result = graph::find_center(g, nullptr, hybrid);
+  EXPECT_EQ(result.radius, 40u);  // 2 * ceil(39/2): center cell to a corner
+  EXPECT_LT(result.bfs_runs, g.vertex_count() / 4)
+      << "pruning should eliminate most of a 1600-vertex grid";
+}
+
+TEST(Center, SingleVertexAndEdge) {
+  const graph::CenterResult one =
+      graph::find_center(graph::complete(1));
+  EXPECT_EQ(one.radius, 0u);
+  EXPECT_EQ(one.center, 0u);
+  const graph::CenterResult two =
+      graph::find_center(graph::complete(2));
+  EXPECT_EQ(two.radius, 1u);
+  EXPECT_EQ(two.center, 0u);
+}
+
+TEST(Center, HybridOnTinyGraphs) {
+  // Forced hybrid must stay exact even below the auto threshold.
+  for (graph::Vertex n = 1; n <= 6; ++n) {
+    graph::CenterOptions hybrid;
+    hybrid.mode = graph::CenterMode::kHybrid;
+    const graph::Graph g = graph::complete(n);
+    const graph::CenterResult result = graph::find_center(g, nullptr, hybrid);
+    EXPECT_EQ(result.radius, n <= 1 ? 0u : 1u) << "K_" << n;
+  }
+}
+
+}  // namespace
+}  // namespace mg

@@ -200,5 +200,52 @@ TEST(Generators, RandomRegularParityPrecondition) {
   EXPECT_THROW(random_regular(5, 3, rng), ContractViolation);
 }
 
+TEST(Generators, Torus3dShape) {
+  const Graph g = torus3d(3, 4, 5);
+  EXPECT_EQ(g.vertex_count(), 60u);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  // Exactly 6-regular: with every extent >= 3 the two wrap neighbors per
+  // axis are always distinct.
+  EXPECT_EQ(stats.min, 6u);
+  EXPECT_EQ(stats.max, 6u);
+  const Graph cube = torus3d(4, 4, 4);
+  const auto cube_stats = degree_stats(cube);
+  EXPECT_EQ(cube_stats.min, 6u);
+  EXPECT_EQ(cube_stats.max, 6u);
+  EXPECT_EQ(cube.edge_count(), 64u * 6u / 2u);
+}
+
+TEST(Generators, Torus3dRejectsSmallExtents) {
+  EXPECT_THROW(torus3d(2, 3, 3), ContractViolation);
+}
+
+TEST(Generators, RandomRegularConfigurationExactDegree) {
+  Rng rng(5);
+  for (const Vertex d : {3u, 4u}) {
+    const Graph g = random_regular_configuration(50, d, rng);
+    EXPECT_TRUE(is_connected(g));
+    const auto stats = degree_stats(g);
+    EXPECT_EQ(stats.min, d) << "d=" << d;  // exactly regular, no overlay
+    EXPECT_EQ(stats.max, d) << "d=" << d;
+    EXPECT_EQ(g.edge_count(), 50u * d / 2u);
+  }
+}
+
+TEST(Generators, RandomRegularConfigurationDeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  Rng c(100);
+  const Graph first = random_regular_configuration(40, 3, a);
+  EXPECT_EQ(first, random_regular_configuration(40, 3, b));
+  EXPECT_NE(first, random_regular_configuration(40, 3, c));
+}
+
+TEST(Generators, RandomRegularConfigurationPreconditions) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular_configuration(5, 3, rng), ContractViolation);
+  EXPECT_THROW(random_regular_configuration(10, 2, rng), ContractViolation);
+}
+
 }  // namespace
 }  // namespace mg::graph

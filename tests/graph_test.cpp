@@ -70,6 +70,34 @@ TEST(Graph, FromEdgesEquivalentToBuilder) {
   EXPECT_EQ(a, b.build());
 }
 
+TEST(Graph, FromCsrEquivalentToFromEdges) {
+  // Path 0-1-2: offsets {0, 1, 3, 4}, adjacency {1, 0, 2, 1}.
+  const Graph direct =
+      Graph::from_csr({0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(direct, Graph::from_edges(3, {{0, 1}, {1, 2}}));
+}
+
+TEST(Graph, FromCsrRejectsMalformedInput) {
+  // Offsets not ending at the adjacency size.
+  EXPECT_THROW(Graph::from_csr({0, 1, 3, 3}, {1, 0, 2, 1}),
+               ContractViolation);
+  // Non-monotone offsets.
+  EXPECT_THROW(Graph::from_csr({0, 3, 1, 4}, {1, 0, 2, 1}),
+               ContractViolation);
+  // Unsorted neighbor list.
+  EXPECT_THROW(Graph::from_csr({0, 2, 3, 4}, {2, 1, 0, 0}),
+               ContractViolation);
+  // Duplicate neighbor (sorted but not strictly ascending).
+  EXPECT_THROW(Graph::from_csr({0, 2, 4, 4}, {1, 1, 0, 0}),
+               ContractViolation);
+  // Self-loop.
+  EXPECT_THROW(Graph::from_csr({0, 1, 2}, {0, 0}), ContractViolation);
+  // Neighbor out of range.
+  EXPECT_THROW(Graph::from_csr({0, 1, 2}, {5, 0}), ContractViolation);
+  // Odd adjacency size cannot encode an undirected edge set.
+  EXPECT_THROW(Graph::from_csr({0, 1}, {0}), ContractViolation);
+}
+
 TEST(Graph, BuilderIsReusableAfterBuild) {
   GraphBuilder b(3);
   b.add_edge(0, 1);

@@ -1,6 +1,9 @@
 // Tests for the communication-schedule data type (§1's formalism).
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "model/compiled.h"
 #include "model/schedule.h"
 #include "support/contracts.h"
 
@@ -103,6 +106,41 @@ TEST(Schedule, EquivalentToleratesTrailingEmptyRounds) {
   Schedule b(5);
   b.add(0, {0, 0, {1}});
   EXPECT_TRUE(equivalent(a, b));
+}
+
+TEST(CompiledSchedule, PreservesRoundsAndOrder) {
+  Schedule s;
+  s.add(0, {4, 0, {1, 2, 3}});
+  s.add(0, {5, 1, {0}});
+  s.add(2, {6, 2, {0, 3}});
+  const CompiledSchedule c = CompiledSchedule::compile(s);
+  ASSERT_EQ(c.round_count(), 3u);
+  EXPECT_EQ(c.transmission_count(), 3u);
+  EXPECT_EQ(c.delivery_count(), 6u);
+  ASSERT_EQ(c.round(0).size(), 2u);
+  EXPECT_TRUE(c.round(1).empty());
+  ASSERT_EQ(c.round(2).size(), 1u);
+  // Within-round order and receiver order are exactly the schedule's.
+  const auto& first = c.round(0)[0];
+  EXPECT_EQ(first.message, 4u);
+  EXPECT_EQ(first.sender, 0u);
+  const auto receivers = c.receivers(first);
+  EXPECT_EQ(std::vector<graph::Vertex>(receivers.begin(), receivers.end()),
+            (std::vector<graph::Vertex>{1, 2, 3}));
+  const auto& second = c.round(0)[1];
+  EXPECT_EQ(second.message, 5u);
+  ASSERT_EQ(c.receivers(second).size(), 1u);
+  EXPECT_EQ(c.receivers(second)[0], 0u);
+  const auto& third = c.round(2)[0];
+  EXPECT_EQ(third.sender, 2u);
+  EXPECT_EQ(c.receivers(third).size(), 2u);
+}
+
+TEST(CompiledSchedule, EmptySchedule) {
+  const CompiledSchedule c = CompiledSchedule::compile(Schedule{});
+  EXPECT_EQ(c.round_count(), 0u);
+  EXPECT_EQ(c.transmission_count(), 0u);
+  EXPECT_EQ(c.delivery_count(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // tree construction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "graph/generators.h"
 #include "graph/named.h"
 #include "graph/properties.h"
@@ -25,7 +28,9 @@ TEST(RootedTree, FromParentsBasics) {
   EXPECT_EQ(t.level(0), 0u);
   EXPECT_EQ(t.level(3), 2u);
   EXPECT_EQ(t.height(), 2u);
-  EXPECT_EQ(t.children(0), (std::vector<graph::Vertex>{1, 2}));
+  const auto kids = t.children(0);
+  EXPECT_EQ(std::vector<graph::Vertex>(kids.begin(), kids.end()),
+            (std::vector<graph::Vertex>{1, 2}));
 }
 
 TEST(RootedTree, SingleVertex) {
@@ -84,6 +89,42 @@ TEST(BfsTree, ParentIsSmallestIdInPreviousLevel) {
   // has two level-1 neighbors {1, 3} and must pick 1.
   const auto t = bfs_tree(graph::cycle(4), 0);
   EXPECT_EQ(t.parent(2), 1u);
+}
+
+TEST(BfsTree, ParentPropertyPinnedAcross32SeededGraphs) {
+  // Pin of the sort-free construction: for every non-root vertex the
+  // parent must be exactly the smallest-id neighbor in the previous BFS
+  // level, and the CSR child lists must mirror the parent array in
+  // ascending order.  This is the identity the per-level-sort
+  // implementation guaranteed; any drift would silently re-root gossip
+  // schedules everywhere.
+  Rng rng(0x5EEDED5ULL);
+  for (int i = 0; i < 32; ++i) {
+    const auto n = static_cast<graph::Vertex>(rng.range(6, 70));
+    const graph::Graph g =
+        (i % 3 == 0) ? graph::random_tree(n, rng)
+        : (i % 3 == 1)
+            ? graph::random_connected_gnp(n, 4.0 / static_cast<double>(n),
+                                          rng)
+            : graph::random_geometric(n, 0.35, rng);
+    const auto root = static_cast<graph::Vertex>(rng.below(n));
+    const auto t = bfs_tree(g, root);
+    const auto dist = graph::bfs_distances(g, root);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      ASSERT_EQ(t.level(v), dist[v]) << "graph " << i << " vertex " << v;
+      if (v == root) continue;
+      graph::Vertex expected = graph::kNoVertex;
+      for (graph::Vertex u : g.neighbors(v)) {
+        if (dist[u] + 1 == dist[v] && u < expected) expected = u;
+      }
+      ASSERT_EQ(t.parent(v), expected) << "graph " << i << " vertex " << v;
+    }
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const auto kids = t.children(v);
+      ASSERT_TRUE(std::is_sorted(kids.begin(), kids.end()));
+      for (graph::Vertex c : kids) ASSERT_EQ(t.parent(c), v);
+    }
+  }
 }
 
 TEST(BfsTree, DisconnectedRejected) {
