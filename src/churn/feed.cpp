@@ -1,0 +1,264 @@
+#include "churn/feed.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "support/contracts.h"
+#include "support/rng.h"
+
+namespace mg::churn {
+
+namespace {
+
+using graph::DynamicGraph;
+using graph::Graph;
+using graph::Vertex;
+
+/// Advances the shared time cursor by a random gap sized so `events`
+/// events spread over roughly `horizon_rounds`.
+void advance_time(Rng& rng, const FeedOptions& options, std::uint64_t& t) {
+  const std::uint64_t mean_gap =
+      std::max<std::uint64_t>(1, options.horizon_rounds /
+                                     std::max<std::size_t>(options.events, 1));
+  t += rng.below(2 * mean_gap + 1);
+}
+
+/// Picks a legal insertion; returns false when none was found (dense or
+/// tiny graph).
+bool pick_addable(const DynamicGraph& g, const std::function<Vertex()>& pick,
+                  Vertex& u, Vertex& v) {
+  const Vertex n = g.vertex_count();
+  if (n < 2) return false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    u = pick();
+    v = pick();
+    if (u != v && !g.has_edge(u, v)) return true;
+  }
+  return false;
+}
+
+/// Picks a present, non-bridging edge; returns false when every edge is a
+/// bridge (e.g. the graph is a tree).
+bool pick_removable(const DynamicGraph& g, Rng& rng,
+                    const std::function<Vertex()>& pick, Vertex& u,
+                    Vertex& v) {
+  const Graph& snap = g.snapshot();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    u = pick();
+    const auto neighbors = snap.neighbors(u);
+    if (neighbors.empty()) continue;
+    v = neighbors[rng.below(neighbors.size())];
+    if (g.is_removable(u, v)) return true;
+  }
+  return false;
+}
+
+void emit(ChurnFeed& feed, DynamicGraph& g, ChurnEvent event) {
+  apply_event(g, event);
+  feed.events.push_back(event);
+}
+
+/// Emits one node event (add, or remove-a-leaf when one exists).
+void node_event(ChurnFeed& feed, DynamicGraph& g, Rng& rng,
+                std::uint64_t time) {
+  const Vertex n = g.vertex_count();
+  if (n >= 3 && rng.chance(0.5)) {
+    // Removing a degree-1 vertex always preserves connectivity.
+    std::vector<Vertex> leaves;
+    for (Vertex w = 0; w < n; ++w) {
+      if (g.degree(w) == 1) leaves.push_back(w);
+    }
+    if (!leaves.empty()) {
+      const Vertex leaf = leaves[rng.below(leaves.size())];
+      emit(feed, g,
+           {EventKind::kRemoveNode, leaf, graph::kNoVertex, time});
+      return;
+    }
+  }
+  emit(feed, g, {EventKind::kAddNode, static_cast<Vertex>(rng.below(n)),
+                 graph::kNoVertex, time});
+}
+
+/// Shared uniform/hotspot driver; `pick` supplies the vertex bias.
+ChurnFeed biased_feed(const Graph& g0, const FeedOptions& options,
+                      const std::function<Vertex(DynamicGraph&, Rng&)>& bias) {
+  DynamicGraph g(g0);
+  Rng rng(options.seed);
+  ChurnFeed feed;
+  std::uint64_t t = 0;
+  while (feed.events.size() < options.events) {
+    advance_time(rng, options, t);
+    if (options.allow_node_events &&
+        rng.chance(options.node_event_fraction)) {
+      node_event(feed, g, rng, t);
+      continue;
+    }
+    const std::function<Vertex()> pick = [&] { return bias(g, rng); };
+    Vertex u = 0;
+    Vertex v = 0;
+    if (rng.chance(options.add_fraction)) {
+      if (pick_addable(g, pick, u, v)) {
+        emit(feed, g, {EventKind::kAddEdge, u, v, t});
+        continue;
+      }
+      if (pick_removable(g, rng, pick, u, v)) {
+        emit(feed, g, {EventKind::kRemoveEdge, u, v, t});
+        continue;
+      }
+    } else {
+      if (pick_removable(g, rng, pick, u, v)) {
+        emit(feed, g, {EventKind::kRemoveEdge, u, v, t});
+        continue;
+      }
+      if (pick_addable(g, pick, u, v)) {
+        emit(feed, g, {EventKind::kAddEdge, u, v, t});
+        continue;
+      }
+    }
+    break;  // neither direction legal (pathological tiny graph): stop
+  }
+  return feed;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAddEdge:
+      return "add_edge";
+    case EventKind::kRemoveEdge:
+      return "remove_edge";
+    case EventKind::kAddNode:
+      return "add_node";
+    case EventKind::kRemoveNode:
+      return "remove_node";
+  }
+  return "unknown";
+}
+
+std::pair<graph::Vertex, graph::Vertex> apply_event(graph::DynamicGraph& g,
+                                                    const ChurnEvent& event) {
+  switch (event.kind) {
+    case EventKind::kAddEdge:
+      g.add_edge(event.u, event.v);
+      return {event.u, event.v};
+    case EventKind::kRemoveEdge:
+      g.remove_edge(event.u, event.v);
+      return {event.u, event.v};
+    case EventKind::kAddNode:
+      return {event.u, g.add_node(event.u)};
+    case EventKind::kRemoveNode:
+      g.remove_node(event.u);
+      return {event.u, graph::kNoVertex};
+  }
+  MG_EXPECTS_MSG(false, "unknown churn event kind");
+  return {0, 0};
+}
+
+ChurnFeed uniform_feed(const Graph& g0, const FeedOptions& options) {
+  return biased_feed(g0, options, [](DynamicGraph& g, Rng& rng) {
+    return static_cast<Vertex>(rng.below(g.vertex_count()));
+  });
+}
+
+ChurnFeed hotspot_feed(const Graph& g0, const FeedOptions& options) {
+  // A fixed hot subset absorbs 80% of the endpoint picks; sampled once up
+  // front from the seed so the workload is reproducible even as node
+  // events grow or shrink the graph.
+  std::vector<Vertex> ids(g0.vertex_count());
+  std::iota(ids.begin(), ids.end(), Vertex{0});
+  Rng setup(options.seed ^ 0x9e3779b97f4a7c15ULL);
+  setup.shuffle(ids);
+  const std::size_t hot_count =
+      std::max<std::size_t>(2, ids.size() / 16);
+  ids.resize(std::min(ids.size(), hot_count));
+  return biased_feed(g0, options, [ids](DynamicGraph& g, Rng& rng) {
+    if (rng.chance(0.8)) {
+      const Vertex hot = ids[rng.below(ids.size())];
+      if (hot < g.vertex_count()) return hot;
+    }
+    return static_cast<Vertex>(rng.below(g.vertex_count()));
+  });
+}
+
+ChurnFeed partition_heal_feed(const Graph& g0, const FeedOptions& options) {
+  DynamicGraph g(g0);
+  Rng rng(options.seed);
+  ChurnFeed feed;
+  std::uint64_t t = 0;
+  while (feed.events.size() < options.events) {
+    const Graph& snap = g.snapshot();
+    const Vertex n = snap.vertex_count();
+    if (n < 4) break;
+    // Grow a BFS ball around a random seed to ~n/3 vertices, then thin its
+    // boundary down to a single bridge (the near-partition), then heal.
+    const Vertex seed = static_cast<Vertex>(rng.below(n));
+    const Vertex target = std::max<Vertex>(1, n / 3);
+    std::vector<char> in_ball(n, 0);
+    std::vector<Vertex> frontier{seed};
+    in_ball[seed] = 1;
+    Vertex ball_size = 1;
+    for (std::size_t head = 0;
+         head < frontier.size() && ball_size < target; ++head) {
+      for (Vertex y : snap.neighbors(frontier[head])) {
+        if (in_ball[y] || ball_size >= target) continue;
+        in_ball[y] = 1;
+        ++ball_size;
+        frontier.push_back(y);
+      }
+    }
+    std::vector<std::pair<Vertex, Vertex>> boundary;
+    for (Vertex u = 0; u < n; ++u) {
+      if (!in_ball[u]) continue;
+      for (Vertex v : snap.neighbors(u)) {
+        if (!in_ball[v]) boundary.emplace_back(u, v);
+      }
+    }
+    if (boundary.size() <= 1) {
+      // Already a near-partition: widen the cut instead so waves keep
+      // making progress (the heal of this add comes from the next wave).
+      Vertex u = 0;
+      Vertex v = 0;
+      const std::function<Vertex()> pick = [&] {
+        return static_cast<Vertex>(rng.below(g.vertex_count()));
+      };
+      if (!pick_addable(g, pick, u, v)) break;
+      advance_time(rng, options, t);
+      emit(feed, g, {EventKind::kAddEdge, u, v, t});
+      continue;
+    }
+    rng.shuffle(boundary);
+    std::vector<std::pair<Vertex, Vertex>> cut;
+    for (std::size_t i = 1; i < boundary.size(); ++i) {  // keep boundary[0]
+      if (feed.events.size() >= options.events) break;
+      const auto [u, v] = boundary[i];
+      if (!g.has_edge(u, v) || !g.is_removable(u, v)) continue;
+      advance_time(rng, options, t);
+      emit(feed, g, {EventKind::kRemoveEdge, u, v, t});
+      cut.push_back(boundary[i]);
+    }
+    for (auto it = cut.rbegin(); it != cut.rend(); ++it) {  // heal
+      if (feed.events.size() >= options.events) break;
+      advance_time(rng, options, t);
+      emit(feed, g, {EventKind::kAddEdge, it->first, it->second, t});
+    }
+    if (cut.empty() && feed.events.size() < options.events) {
+      // Every boundary edge was a bridge; fall back to uniform progress.
+      Vertex u = 0;
+      Vertex v = 0;
+      const std::function<Vertex()> pick = [&] {
+        return static_cast<Vertex>(rng.below(g.vertex_count()));
+      };
+      advance_time(rng, options, t);
+      if (pick_addable(g, pick, u, v)) {
+        emit(feed, g, {EventKind::kAddEdge, u, v, t});
+      } else {
+        break;
+      }
+    }
+  }
+  return feed;
+}
+
+}  // namespace mg::churn

@@ -1,0 +1,100 @@
+#include "churn/solver.h"
+
+#include <utility>
+
+#include "gossip/instance.h"
+#include "obs/registry.h"
+#include "support/contracts.h"
+
+namespace mg::churn {
+
+ChurnSolver::ChurnSolver(graph::Graph g0, ChurnSolverOptions options,
+                         engine::Engine* engine, ThreadPool* pool)
+    : options_(options),
+      engine_(engine),
+      pool_(pool),
+      graph_(std::move(g0), options.graph),
+      tree_(graph_.snapshot(), options.tree, pool) {
+  resolve();
+}
+
+void ChurnSolver::resolve() {
+  // The maintained tree is already a minimum-depth spanning tree of the
+  // current topology, so a re-anchor pays only the schedule construction —
+  // never a second center search.
+  gossip::Instance instance(tree_.tree());
+  schedule_ = gossip::run_algorithm(instance, options_.algorithm);
+  initial_ = instance.initial();
+  ++stats_.resolves;
+  MG_OBS_ADD("churn.solver.resolves", 1);
+}
+
+ApplyReport ChurnSolver::apply(const ChurnEvent& event) {
+  MG_OBS_SCOPE_TIMER(apply_timer, "churn.solver.apply_ns");
+  ApplyReport report;
+  report.event = event;
+
+  // 2. Fingerprint-delta invalidation targets the *pre-mutation* graph:
+  // that is the entry the mutation made stale.
+  const std::uint64_t old_fingerprint =
+      engine_ ? engine::graph_fingerprint(graph_.snapshot()) : 0;
+
+  // 1. Mutate.
+  const auto [u, v] = apply_event(graph_, event);
+  const graph::Graph& g = graph_.snapshot();
+
+  if (engine_ != nullptr) {
+    report.invalidated = engine_->invalidate(old_fingerprint);
+    stats_.invalidated += report.invalidated;
+  }
+
+  // 3. Incremental tree maintenance.
+  switch (event.kind) {
+    case EventKind::kAddEdge:
+      report.tree_report = tree_.on_edge_added(g, u, v);
+      break;
+    case EventKind::kRemoveEdge:
+      report.tree_report = tree_.on_edge_removed(g, u, v);
+      break;
+    case EventKind::kAddNode:
+    case EventKind::kRemoveNode:
+      report.tree_report = tree_.on_node_event(g);
+      break;
+  }
+
+  // 4. Reschedule: patch edge deltas, re-anchor everything else.
+  report.fresh_bound =
+      static_cast<std::size_t>(g.vertex_count()) + tree_.radius();
+  const bool node_event = event.kind == EventKind::kAddNode ||
+                          event.kind == EventKind::kRemoveNode;
+  if (node_event) {
+    // The vertex universe (and the message-id space) changed: the old
+    // schedule is not patchable, by construction.
+    resolve();
+    report.resolved = true;
+  } else {
+    gossip::PatchResult patch = gossip::patch_schedule(g, schedule_, initial_);
+    const double stale_limit =
+        options_.stale_factor * static_cast<double>(report.fresh_bound);
+    if (!patch.complete ||
+        static_cast<double>(patch.schedule.total_time()) > stale_limit) {
+      // Accumulated repairs drifted past the staleness budget (or the
+      // patch could not complete): re-anchor on the maintained tree.
+      resolve();
+      report.resolved = true;
+      MG_OBS_ADD("churn.solver.reanchors", 1);
+    } else {
+      schedule_ = std::move(patch.schedule);
+      report.patched = true;
+      ++stats_.patches;
+      MG_OBS_ADD("churn.solver.patches", 1);
+    }
+  }
+  report.schedule_time = schedule_.total_time();
+
+  ++stats_.events;
+  MG_OBS_ADD("churn.solver.events", 1);
+  return report;
+}
+
+}  // namespace mg::churn

@@ -1,0 +1,97 @@
+// The online churn driver: owns the mutable topology and keeps the whole
+// downstream pipeline — min-depth spanning tree, compiled gossip schedule,
+// engine cache — consistent with it after every event, at incremental cost
+// whenever the certificates allow.
+//
+// Per event, `apply` runs four steps:
+//   1. *mutate*     — apply the event to the `DynamicGraph`;
+//   2. *invalidate* — evict exactly the pre-mutation fingerprint from the
+//      attached `engine::Engine` (fingerprint-delta invalidation: one
+//      entry, not the cache);
+//   3. *retree*     — incremental `IncrementalTree` maintenance (noop /
+//      parent patch / subtree repair / recenter / full rebuild, see
+//      tree/incremental.h);
+//   4. *reschedule* — edge events patch the compiled schedule via
+//      `gossip::patch_schedule`; node events, patches that fail to
+//      complete, and patches whose total time drifts past
+//      `stale_factor * (n + r)` re-anchor with a full solve on the
+//      maintained tree (no second center search).
+// Every decision is mirrored into `churn.solver.*` obs counters; the
+// differential battery replays feeds through this class and cross-checks
+// each step against the from-scratch pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "churn/feed.h"
+#include "engine/engine.h"
+#include "gossip/patch.h"
+#include "gossip/solve.h"
+#include "graph/dynamic.h"
+#include "model/schedule.h"
+#include "tree/incremental.h"
+
+namespace mg::churn {
+
+struct ChurnSolverOptions {
+  gossip::Algorithm algorithm = gossip::Algorithm::kConcurrentUpDown;
+  tree::IncrementalTreeOptions tree;
+  graph::DynamicGraphOptions graph;
+  /// Re-anchor (full re-solve) when the patched schedule's total time
+  /// exceeds stale_factor * (n + r), the Theorem 1 bound for a fresh
+  /// solve on the current topology.
+  double stale_factor = 2.0;
+};
+
+/// What `apply` did for one event.
+struct ApplyReport {
+  ChurnEvent event;
+  tree::MaintenanceReport tree_report;
+  bool patched = false;   ///< schedule updated by splicing a repair
+  bool resolved = false;  ///< schedule rebuilt by a full solve
+  std::size_t invalidated = 0;   ///< engine entries evicted
+  std::size_t schedule_time = 0; ///< patched/resolved schedule total time
+  std::size_t fresh_bound = 0;   ///< n + r on the mutated topology
+};
+
+struct ChurnSolverStats {
+  std::uint64_t events = 0;
+  std::uint64_t patches = 0;
+  std::uint64_t resolves = 0;
+  std::uint64_t invalidated = 0;
+};
+
+class ChurnSolver {
+ public:
+  /// Solves gossip on `g0` once (the initial compiled schedule), then
+  /// stands by for events.  `engine` (optional) receives fingerprint-delta
+  /// invalidations; `pool` (optional) accelerates full rebuilds.
+  explicit ChurnSolver(graph::Graph g0, ChurnSolverOptions options = {},
+                       engine::Engine* engine = nullptr,
+                       ThreadPool* pool = nullptr);
+
+  ApplyReport apply(const ChurnEvent& event);
+
+  [[nodiscard]] const graph::DynamicGraph& graph() const { return graph_; }
+  [[nodiscard]] const tree::IncrementalTree& tree() const { return tree_; }
+  [[nodiscard]] const model::Schedule& schedule() const { return schedule_; }
+  /// Initial hold assignment matching `schedule()`'s message ids.
+  [[nodiscard]] const std::vector<model::Message>& initial() const {
+    return initial_;
+  }
+  [[nodiscard]] const ChurnSolverStats& stats() const { return stats_; }
+
+ private:
+  void resolve();  ///< full solve from the maintained tree
+
+  ChurnSolverOptions options_;
+  engine::Engine* engine_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  graph::DynamicGraph graph_;
+  tree::IncrementalTree tree_;
+  model::Schedule schedule_;
+  std::vector<model::Message> initial_;
+  ChurnSolverStats stats_;
+};
+
+}  // namespace mg::churn

@@ -183,6 +183,7 @@ EngineStats Engine::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.inflight_coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -201,6 +202,35 @@ void Engine::clear_cache() {
     shards_[i].entries.clear();
     shards_[i].lru.clear();
   }
+}
+
+std::size_t Engine::invalidate(std::uint64_t fingerprint) {
+  // Every algorithm's entry for this fingerprint lives in the same shard
+  // (sharding keys on the fingerprint alone), so one lock covers the whole
+  // delta.
+  Shard& shard = shard_for(fingerprint);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.fingerprint == fingerprint) {
+        shard.entries.erase(it->first);
+        it = shard.lru.erase(it);  // readers keep their shared_ptr alive
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted > 0) {
+    invalidations_.fetch_add(evicted, std::memory_order_relaxed);
+    MG_OBS_ADD("engine.cache.invalidations", evicted);
+  }
+  return evicted;
+}
+
+std::size_t Engine::invalidate(const graph::Graph& g) {
+  return invalidate(graph_fingerprint(g));
 }
 
 std::size_t Engine::thread_count() const { return pool_->thread_count(); }

@@ -87,6 +87,7 @@ struct EngineStats {
   std::uint64_t evictions = 0;   ///< LRU entries displaced
   std::uint64_t inflight_coalesced = 0;  ///< subset of hits that joined a
                                          ///< solve already in flight
+  std::uint64_t invalidations = 0;  ///< entries evicted by `invalidate`
 };
 
 /// Thread-safe memoizing gossip solver.  All public members may be called
@@ -121,6 +122,19 @@ class Engine {
   /// Drops every cached entry (outstanding ResultPtrs stay valid).
   void clear_cache();
 
+  /// Fingerprint-delta invalidation: evicts every cached entry (all
+  /// algorithms) for exactly this graph fingerprint, leaving the rest of
+  /// the cache intact — the churn solver calls this with the *pre-mutation*
+  /// fingerprint so a topology delta costs one entry, not the cache.
+  /// In-flight solves are left alone: their key fingerprints the content
+  /// they are solving, so their eventual publication is still correct.
+  /// Returns the number of entries evicted.  Outstanding ResultPtrs stay
+  /// valid.
+  std::size_t invalidate(std::uint64_t fingerprint);
+
+  /// Convenience: invalidate(graph_fingerprint(g)).
+  std::size_t invalidate(const graph::Graph& g);
+
   [[nodiscard]] std::size_t thread_count() const;
 
  private:
@@ -138,6 +152,7 @@ class Engine {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 };
 
 }  // namespace mg::engine

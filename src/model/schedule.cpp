@@ -23,6 +23,16 @@ void Schedule::trim() {
   while (!rounds_.empty() && rounds_.back().empty()) rounds_.pop_back();
 }
 
+void Schedule::append(const Schedule& tail, std::size_t offset) {
+  const std::size_t wanted = offset + tail.round_count();
+  if (wanted > rounds_.size()) rounds_.resize(wanted);
+  for (std::size_t t = 0; t < tail.round_count(); ++t) {
+    const Round& src = tail.round(t);
+    Round& dst = rounds_[offset + t];
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+}
+
 std::size_t Schedule::total_time() const {
   for (std::size_t t = rounds_.size(); t > 0; --t) {
     if (!rounds_[t - 1].empty()) return t;

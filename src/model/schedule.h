@@ -51,6 +51,11 @@ class Schedule {
   /// Drops empty trailing rounds.
   void trim();
 
+  /// Splices every transmission of `tail` into this schedule, shifted so
+  /// tail round t lands at round `offset + t` — the schedule-patching
+  /// primitive (base prefix + repair suffix).
+  void append(const Schedule& tail, std::size_t offset);
+
   /// Total communication time: latest receive time = (index of the last
   /// non-empty round) + 1; zero for an all-empty schedule.
   [[nodiscard]] std::size_t total_time() const;

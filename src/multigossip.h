@@ -23,7 +23,11 @@
 //             round-synchronized message bus, decentralized recovery, and
 //             the differential gate against the central schedule
 //   engine/   concurrent batch solver: sharded LRU schedule cache keyed by
-//             graph fingerprint, single-flight miss coalescing
+//             graph fingerprint, single-flight miss coalescing,
+//             fingerprint-delta invalidation
+//   churn/    dynamic topology: seeded churn feeds, the mutable CSR
+//             overlay, incremental spanning-tree maintenance, schedule
+//             patching, and the online churn solver tying them together
 //   mmc/      the multimessage-multicasting generalization
 //   sim/      round-based execution, traces, fault injection, randomized
 //             rumor spreading
@@ -38,6 +42,8 @@
 #include "graph/named.h"             // IWYU pragma: export
 #include "graph/product.h"           // IWYU pragma: export
 #include "graph/properties.h"        // IWYU pragma: export
+#include "churn/feed.h"              // IWYU pragma: export
+#include "churn/solver.h"            // IWYU pragma: export
 #include "dist/actor.h"              // IWYU pragma: export
 #include "dist/mailbox.h"            // IWYU pragma: export
 #include "dist/runtime.h"            // IWYU pragma: export

@@ -1,0 +1,125 @@
+// Fuzz-style churn stream shrinker: when a differential replay fails on a
+// long seeded stream, reduce it to a minimal reproducing case before
+// anyone has to read it.  Two phases:
+//
+//   1. *prefix bisection* — every feed prefix is itself a legal feed, so
+//      binary-search the shortest failing prefix (differential failures
+//      are prefix-monotone: replay is deterministic and the check runs
+//      after every event, so a stream fails iff it reaches its first bad
+//      event);
+//   2. *event elision* — walk the surviving prefix backwards (never the
+//      last event: it is the trigger) and drop every event whose removal
+//      keeps the stream both legal (preconditions can break when a later
+//      event depends on a dropped one — `ContractViolation` means "keep
+//      it") and failing.
+//
+// `regression_snippet` then renders the survivor as a paste-able C++
+// initializer list; shrunk cases get pinned in churn_shrinker_test.cpp.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "churn/feed.h"
+#include "graph/dynamic.h"
+#include "graph/graph.h"
+#include "support/contracts.h"
+
+namespace mg::test {
+
+/// True when replaying `events` on `g0` reproduces the failure under
+/// investigation.  Must be deterministic.
+using FailurePredicate = std::function<bool(
+    const graph::Graph& g0, const std::vector<churn::ChurnEvent>& events)>;
+
+/// True when every event's precondition holds at its position in the
+/// stream (edges added only where absent, removed only where present...).
+inline bool stream_legal(const graph::Graph& g0,
+                         const std::vector<churn::ChurnEvent>& events) {
+  graph::DynamicGraph g(g0);
+  try {
+    for (const auto& event : events) (void)churn::apply_event(g, event);
+  } catch (const ContractViolation&) {
+    return false;
+  }
+  return true;
+}
+
+struct ShrinkResult {
+  std::vector<churn::ChurnEvent> events;  ///< minimal reproducing stream
+  std::size_t original_size = 0;
+  bool reproduced = false;  ///< false: the full stream never failed
+};
+
+inline ShrinkResult shrink_churn_stream(
+    const graph::Graph& g0, std::vector<churn::ChurnEvent> events,
+    const FailurePredicate& fails) {
+  ShrinkResult result;
+  result.original_size = events.size();
+  if (!fails(g0, events)) return result;  // reproduced stays false
+  result.reproduced = true;
+
+  // Phase 1: shortest failing prefix, by bisection.
+  std::size_t lo = 1;           // shortest length that could fail
+  std::size_t hi = events.size();  // known to fail
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::vector<churn::ChurnEvent> prefix(
+        events.begin(),
+        events.begin() + static_cast<std::ptrdiff_t>(mid));
+    if (fails(g0, prefix)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  events.resize(hi);
+
+  // Phase 2: elide interior events (backwards; the final event is the
+  // trigger and always stays).
+  for (std::size_t i = events.size() - 1; i-- > 0;) {
+    std::vector<churn::ChurnEvent> shorter = events;
+    shorter.erase(shorter.begin() + static_cast<std::ptrdiff_t>(i));
+    if (stream_legal(g0, shorter) && fails(g0, shorter)) {
+      events = std::move(shorter);
+    }
+  }
+
+  result.events = std::move(events);
+  return result;
+}
+
+/// Renders a shrunk stream as a paste-able C++ regression case.
+inline std::string regression_snippet(const ShrinkResult& shrunk,
+                                      const std::string& graph_expr) {
+  std::ostringstream out;
+  out << "// shrunk churn regression: " << shrunk.events.size() << " of "
+      << shrunk.original_size << " events\n";
+  out << "const graph::Graph g0 = " << graph_expr << ";\n";
+  out << "const std::vector<churn::ChurnEvent> stream = {\n";
+  for (const auto& event : shrunk.events) {
+    out << "    {churn::EventKind::k";
+    switch (event.kind) {
+      case churn::EventKind::kAddEdge:
+        out << "AddEdge";
+        break;
+      case churn::EventKind::kRemoveEdge:
+        out << "RemoveEdge";
+        break;
+      case churn::EventKind::kAddNode:
+        out << "AddNode";
+        break;
+      case churn::EventKind::kRemoveNode:
+        out << "RemoveNode";
+        break;
+    }
+    out << ", " << event.u << ", " << event.v << ", " << event.time
+        << "},\n";
+  }
+  out << "};\n";
+  return out.str();
+}
+
+}  // namespace mg::test
