@@ -1,0 +1,391 @@
+// Cross-model benchmark matrix — the headline artifact of the pluggable
+// communication-model layer.  Runs the curated named-graph suite through
+// all four gossip algorithms, adapts every schedule to every communication
+// model (multicast, telephone, radio, beep, direct), and writes one JSON
+// row per (network, algorithm, model) triple plus one row per model-native
+// scheduler (direct virtual ring, radio collision-free greedy), each with
+// and without a fixed fault plan:
+//
+//   {name, algorithm, model, scheduler, faults, n, m, r, structural_rounds,
+//    model_rounds, stretch, round_cost, bound, completed, collided, valid,
+//    wall_ns}
+//
+// Two gate families make the matrix a regression gate (exit nonzero on
+// violation):
+//
+//  * default-model rows must be indistinguishable from the pre-refactor
+//    pipeline: the adapted schedule is the original schedule, its round
+//    count obeys the same per-algorithm bound BENCH_gossip.json enforces,
+//    and simulating with the explicit multicast model equals simulating
+//    with no model at all, field for field — faulted runs included;
+//  * cross-model ordering invariants that hold by construction of the
+//    legalizing adapters: direct == multicast <= telephone and
+//    multicast <= radio (structural rounds), beep == radio structurally
+//    with model time scaled by ceil(log2 n) + 1.  Orderings involving the
+//    model-*native* schedulers are instance-dependent and are reported, not
+//    gated (see docs/MODELS.md) — except the information-theoretic floor
+//    n - 1, which every completing schedule must meet.
+//
+//   model_matrix [--out FILE] [--quick]
+//
+// --out    output path (default BENCH_models.json)
+// --quick  drop the n = 1024 tier and cap native-scheduler rows (CI smoke)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "gossip/bounds.h"
+#include "gossip/solve.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "model/comm_model.h"
+#include "model/legalize.h"
+#include "model/validator.h"
+#include "obs/json.h"
+#include "sim/network_sim.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace mg;
+
+struct BenchCase {
+  std::string name;
+  graph::Graph graph;
+};
+
+std::vector<BenchCase> build_suite(bool quick) {
+  std::vector<BenchCase> suite;
+  suite.push_back({"petersen", graph::petersen()});
+  for (const graph::Vertex n : {64u, 256u}) {
+    suite.push_back({"cycle/n=" + std::to_string(n), graph::cycle(n)});
+  }
+  if (!quick) {
+    suite.push_back({"cycle/n=1024", graph::cycle(1024)});
+  }
+  for (const graph::Vertex side : {8u, 16u}) {
+    const graph::Vertex n = side * side;
+    suite.push_back({"grid/n=" + std::to_string(n), graph::grid(side, side)});
+  }
+  for (const unsigned dim : {6u, 8u}) {
+    const graph::Vertex n = graph::Vertex{1} << dim;
+    suite.push_back(
+        {"hypercube/n=" + std::to_string(n), graph::hypercube(dim)});
+  }
+  for (const graph::Vertex n : {64u, 256u}) {
+    Rng rng(0xbe7cULL + n);  // same seeds as BENCH_gossip: comparable rows
+    suite.push_back(
+        {"random_gnp/n=" + std::to_string(n),
+         graph::random_connected_gnp(n, 3.0 / static_cast<double>(n), rng)});
+  }
+  return suite;
+}
+
+/// Same per-row ceiling BENCH_gossip enforces — the default-model rows of
+/// this matrix must stay inside the pre-refactor bounds.
+std::uint64_t bound_for(gossip::Algorithm algorithm, std::size_t n,
+                        std::size_t r) {
+  switch (algorithm) {
+    case gossip::Algorithm::kSimple:
+      return 2 * n + r - 3;
+    case gossip::Algorithm::kUpDown:
+    case gossip::Algorithm::kTelephone:
+      return n * (n - 1);
+    case gossip::Algorithm::kConcurrentUpDown:
+      return gossip::concurrent_updown_time(n, r);
+  }
+  return 0;
+}
+
+/// Full-field equality of two runs — the refactor's safety gate.
+bool sim_equal(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.completed == b.completed && a.total_time == b.total_time &&
+         a.completion_time == b.completion_time &&
+         a.knowledge == b.knowledge && a.missing == b.missing &&
+         a.skipped_sends == b.skipped_sends &&
+         a.injected_drops == b.injected_drops &&
+         a.crashed_sends == b.crashed_sends &&
+         a.lost_receives == b.lost_receives &&
+         a.collided_receives == b.collided_receives &&
+         a.final_holds == b.final_holds;
+}
+
+struct Row {
+  std::string name;
+  std::string algorithm;
+  std::string model;
+  std::string scheduler;  // "legalized" or "native"
+  bool faulted = false;
+  std::size_t n = 0, m = 0, r = 0;
+  std::size_t structural_rounds = 0;
+  std::size_t model_rounds = 0;
+  std::size_t stretch = 0;
+  std::size_t round_cost = 1;
+  std::uint64_t bound = 0;  // 0 = not gated
+  bool completed = false;
+  std::size_t collided = 0;
+  bool valid = false;
+  std::uint64_t wall_ns = 0;
+  bool ok = true;  // all gates this row is subject to
+};
+
+void write_row(obs::JsonWriter& w, const Row& row) {
+  w.begin_object();
+  w.field("name", row.name);
+  w.field("algorithm", row.algorithm);
+  w.field("model", row.model);
+  w.field("scheduler", row.scheduler);
+  w.field("faults", row.faulted);
+  w.field("n", static_cast<std::uint64_t>(row.n));
+  w.field("m", static_cast<std::uint64_t>(row.m));
+  w.field("r", static_cast<std::uint64_t>(row.r));
+  w.field("structural_rounds",
+          static_cast<std::uint64_t>(row.structural_rounds));
+  w.field("model_rounds", static_cast<std::uint64_t>(row.model_rounds));
+  w.field("stretch", static_cast<std::uint64_t>(row.stretch));
+  w.field("round_cost", static_cast<std::uint64_t>(row.round_cost));
+  w.field("bound", row.bound);
+  w.field("completed", row.completed);
+  w.field("collided", static_cast<std::uint64_t>(row.collided));
+  w.field("valid", row.valid);
+  w.field("wall_ns", row.wall_ns);
+  w.field("ok", row.ok);
+  w.end_object();
+}
+
+fault::FaultPlan make_fault_plan(graph::Vertex n) {
+  fault::FaultPlan plan;
+  plan.drop_rate(0.1).seed(0xfadedULL);
+  plan.crash(n / 2, 5);
+  return plan;
+}
+
+int run_matrix(const std::string& out_path, bool quick) {
+  const auto suite = build_suite(quick);
+  constexpr gossip::Algorithm kAlgorithms[] = {
+      gossip::Algorithm::kSimple, gossip::Algorithm::kUpDown,
+      gossip::Algorithm::kConcurrentUpDown, gossip::Algorithm::kTelephone};
+  // Native-scheduler rows are capped: the radio greedy is quadratic-ish in
+  // rounds x edges and the matrix would be dominated by it at n = 1024.
+  const graph::Vertex native_cap = quick ? 100 : 300;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "model_matrix: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 2;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema_version", 1);
+  w.field("suite", "models");
+  w.field("native_cap", static_cast<std::uint64_t>(native_cap));
+  w.key("rows").begin_array();
+
+  bool all_ok = true;
+  std::size_t rows = 0;
+  for (const auto& c : suite) {
+    for (const gossip::Algorithm algorithm : kAlgorithms) {
+      const gossip::Solution sol = gossip::solve_gossip(c.graph, algorithm);
+      if (!sol.report.ok) {
+        std::fprintf(stderr, "model_matrix: %s %s failed to solve: %s\n",
+                     c.name.c_str(),
+                     gossip::algorithm_name(algorithm).c_str(),
+                     sol.report.error.c_str());
+        return 1;
+      }
+      const graph::Graph tree = sol.instance.tree().as_graph();
+      const std::size_t n = sol.instance.vertex_count();
+      const std::size_t r = sol.instance.radius();
+      const std::size_t base_rounds = sol.schedule.total_time();
+      const fault::FaultPlan plan = make_fault_plan(c.graph.vertex_count());
+
+      std::size_t radio_rounds = 0;
+      for (const model::CommModel* m : model::all_models()) {
+        for (const bool faulted : {false, true}) {
+          Row row;
+          row.name = c.name;
+          row.algorithm = gossip::algorithm_name(algorithm);
+          row.model = m->name();
+          row.scheduler = "legalized";
+          row.faulted = faulted;
+          row.n = n;
+          row.m = c.graph.edge_count();
+          row.r = r;
+
+          Stopwatch watch;
+          const auto adapted = model::adapt_schedule(tree, sol.schedule, *m);
+          row.structural_rounds = adapted.structural_rounds;
+          row.model_rounds = adapted.model_rounds;
+          row.stretch = adapted.stretch;
+          row.round_cost = m->round_cost(static_cast<graph::Vertex>(n));
+
+          model::ValidatorOptions v_options;
+          v_options.model = m;
+          v_options.require_completion = !faulted;
+          const auto report = model::validate_schedule(
+              tree, adapted.schedule, sol.instance.initial(), v_options);
+          row.valid = report.ok;
+
+          sim::SimOptions s_options;
+          s_options.comm = m;
+          if (faulted) s_options.faults = &plan;
+          const auto run = sim::simulate(tree, adapted.schedule,
+                                         sol.instance.initial(), s_options);
+          row.completed = run.completed;
+          row.collided = run.collided_receives;
+          row.wall_ns = static_cast<std::uint64_t>(watch.seconds() * 1e9);
+
+          row.ok = row.valid && (faulted || row.completed);
+          if (m->kind() == model::ModelKind::kMulticast) {
+            // Gate (a): the default model is the pre-refactor pipeline.
+            row.bound = bound_for(algorithm, n, r);
+            row.ok = row.ok && model::equivalent(adapted.schedule,
+                                                 sol.schedule) &&
+                     row.structural_rounds <= row.bound;
+            sim::SimOptions implicit = s_options;
+            implicit.comm = nullptr;
+            row.ok = row.ok &&
+                     sim_equal(run, sim::simulate(tree, adapted.schedule,
+                                                  sol.instance.initial(),
+                                                  implicit));
+          }
+          if (!faulted) {
+            // Gate (b): ordering invariants that hold by construction.
+            switch (m->kind()) {
+              case model::ModelKind::kDirect:
+                row.ok = row.ok && row.structural_rounds == base_rounds;
+                break;
+              case model::ModelKind::kTelephone:
+                row.ok = row.ok && row.structural_rounds >= base_rounds;
+                break;
+              case model::ModelKind::kRadio:
+                radio_rounds = row.structural_rounds;
+                row.ok = row.ok && row.structural_rounds >= base_rounds &&
+                         row.collided == report.collided;
+                break;
+              case model::ModelKind::kBeep:
+                // Same structural schedule as radio, paying the bit-serial
+                // factor in model time: beep >= radio in model rounds.
+                row.ok = row.ok && row.structural_rounds == radio_rounds &&
+                         row.model_rounds ==
+                             row.structural_rounds * row.round_cost &&
+                         row.model_rounds >= radio_rounds;
+                break;
+              case model::ModelKind::kMulticast:
+                break;
+            }
+            // Information-theoretic floor under every model.
+            row.ok = row.ok && row.structural_rounds + 1 >= n;
+          }
+
+          all_ok = all_ok && row.ok;
+          write_row(w, row);
+          ++rows;
+          if (!row.ok) {
+            std::fprintf(stderr,
+                         "model_matrix: GATE VIOLATION %s %s model=%s%s\n",
+                         row.name.c_str(), row.algorithm.c_str(),
+                         row.model.c_str(), faulted ? " (faulted)" : "");
+          }
+        }
+      }
+    }
+
+    // Model-native schedulers, one row each per network (identity initial).
+    const graph::Vertex nv = c.graph.vertex_count();
+    if (nv <= native_cap) {
+      {
+        Row row;
+        row.name = c.name;
+        row.algorithm = "direct_ring";
+        row.model = "direct";
+        row.scheduler = "native";
+        row.n = nv;
+        row.m = c.graph.edge_count();
+        Stopwatch watch;
+        const model::Schedule ring = model::direct_ring_schedule(nv);
+        row.structural_rounds = ring.total_time();
+        row.model_rounds = row.structural_rounds;
+        model::ValidatorOptions options;
+        options.model = &model::direct_model();
+        row.valid = model::validate_schedule(c.graph, ring, {}, options).ok;
+        sim::SimOptions s_options;
+        s_options.comm = &model::direct_model();
+        row.completed = sim::simulate(c.graph, ring, {}, s_options).completed;
+        row.wall_ns = static_cast<std::uint64_t>(watch.seconds() * 1e9);
+        row.bound = nv - 1;  // the optimum, hit exactly
+        row.ok = row.valid && row.completed &&
+                 row.structural_rounds == static_cast<std::size_t>(nv) - 1;
+        all_ok = all_ok && row.ok;
+        write_row(w, row);
+        ++rows;
+      }
+      {
+        Row row;
+        row.name = c.name;
+        row.algorithm = "radio_greedy";
+        row.model = "radio";
+        row.scheduler = "native";
+        row.n = nv;
+        row.m = c.graph.edge_count();
+        Stopwatch watch;
+        const model::Schedule greedy = model::radio_greedy_schedule(c.graph);
+        row.structural_rounds = greedy.total_time();
+        row.model_rounds = row.structural_rounds;
+        model::ValidatorOptions options;
+        options.model = &model::radio_model();
+        const auto report =
+            model::validate_schedule(c.graph, greedy, {}, options);
+        row.valid = report.ok;
+        row.collided = report.collided;
+        sim::SimOptions s_options;
+        s_options.comm = &model::radio_model();
+        row.completed =
+            sim::simulate(c.graph, greedy, {}, s_options).completed;
+        row.wall_ns = static_cast<std::uint64_t>(watch.seconds() * 1e9);
+        // 2-hop independence makes the greedy collision-free; rounds are
+        // instance-dependent (reported), only the n - 1 floor is gated.
+        row.ok = row.valid && row.completed && row.collided == 0 &&
+                 row.structural_rounds + 1 >= nv;
+        all_ok = all_ok && row.ok;
+        write_row(w, row);
+        ++rows;
+      }
+    }
+    std::printf("%-22s done\n", c.name.c_str());
+  }
+
+  w.end_array();
+  w.end_object();
+  out << '\n';
+
+  std::printf("wrote %s (%zu rows)\n", out_path.c_str(), rows);
+  if (!all_ok) {
+    std::fprintf(stderr, "model_matrix: gate violation\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_models.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: model_matrix [--out FILE] [--quick]\n");
+      return 2;
+    }
+  }
+  return run_matrix(out_path, quick);
+}

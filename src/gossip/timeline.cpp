@@ -94,6 +94,8 @@ void RoundTimeline::on_event(const obs::TraceEvent& event) {
     ++tally.skipped;
   } else if (event.kind == "lost") {
     ++tally.lost;
+  } else if (event.kind == "collide") {
+    ++tally.collided;
   } else {
     return;  // unknown producer-defined kind: ignore
   }
@@ -129,7 +131,11 @@ void RoundTimeline::write_json(obs::JsonWriter& w) const {
     totals.crashed += tally.crashed;
     totals.skipped += tally.skipped;
     totals.lost += tally.lost;
+    totals.collided += tally.collided;
   }
+  // Collision-loss models only; omitted entirely on default-model runs so
+  // their timeline JSON is unchanged byte for byte.
+  const bool any_collided = totals.collided > 0;
   const PhaseOverlap overlap = phase_overlap();
 
   w.begin_object();
@@ -144,6 +150,7 @@ void RoundTimeline::write_json(obs::JsonWriter& w) const {
   w.field("crashed", totals.crashed);
   w.field("skipped", totals.skipped);
   w.field("lost", totals.lost);
+  if (any_collided) w.field("collided", totals.collided);
   w.end_object();
   w.key("overlap").begin_object();
   w.field("up_rounds", static_cast<std::uint64_t>(overlap.up_rounds));
@@ -174,6 +181,7 @@ void RoundTimeline::write_json(obs::JsonWriter& w) const {
     w.field("crashed", tally.crashed);
     w.field("skipped", tally.skipped);
     w.field("lost", tally.lost);
+    if (any_collided) w.field("collided", tally.collided);
     w.end_object();
     w.end_object();
   }

@@ -56,6 +56,10 @@ struct RoundTally {
   std::uint64_t crashed = 0;
   std::uint64_t skipped = 0;
   std::uint64_t lost = 0;
+  // Deliveries destroyed by receiver-side collisions (collision-loss
+  // communication models only; attributed to the send round — a collision
+  // is a channel event, see sim::SimOptions::comm).
+  std::uint64_t collided = 0;
 };
 
 /// Activity-grid cell flags (bitwise-or'd).
@@ -100,7 +104,10 @@ class RoundTimeline final : public obs::TraceSink {
   /// Writes the timeline as one JSON object value:
   /// {schema_version, n, send_rounds, time_units, totals{...},
   ///  overlap{...}, rounds:[{t, sends, receives, classes{s,l,r,o,lip,rip},
-  ///  up, down, faults{drops,crashed,skipped,lost}}, ...]}.
+  ///  up, down, faults{drops,crashed,skipped,lost}}, ...]}.  When the run
+  ///  observed receiver-side collisions (collision-loss communication
+  ///  models), totals and faults additionally carry "collided"; the field
+  ///  is omitted otherwise so default-model timelines are unchanged.
   /// Usable nested (after writer.key(...)) or as a document root.
   void write_json(obs::JsonWriter& w) const;
   void write_json(std::ostream& out) const;

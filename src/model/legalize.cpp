@@ -1,0 +1,264 @@
+#include "model/legalize.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/contracts.h"
+
+namespace mg::model {
+
+namespace {
+
+using graph::Vertex;
+
+/// One packed sub-round under a broadcast-channel model: the transmitting
+/// senders plus the deliveries the source schedule intends (and the packer
+/// therefore guarantees collision-free).
+struct SubRound {
+  std::vector<const Transmission*> txs;
+  std::vector<Vertex> senders;
+  std::vector<Vertex> intended;  ///< receivers the source schedule aims at
+};
+
+/// True when adding `tx`'s full-neighborhood broadcast to `sub` keeps every
+/// intended delivery — existing and new — decodable: no intended receiver
+/// transmits, and each hears exactly one transmitting neighbor.
+bool fits_broadcast_subround(const graph::Graph& g, const Transmission& tx,
+                             const SubRound& sub) {
+  for (const Vertex r : tx.receivers) {
+    // New intended receiver r must not transmit and must not hear any
+    // already-admitted sender.
+    for (const Vertex s : sub.senders) {
+      if (r == s || g.has_edge(s, r)) return false;
+    }
+  }
+  for (const Vertex r : sub.intended) {
+    // Existing intended receiver r must not start hearing tx.sender too,
+    // and tx.sender transmitting must not deafen a delivery aimed at it.
+    if (r == tx.sender || g.has_edge(tx.sender, r)) return false;
+  }
+  return true;
+}
+
+Schedule legalize_telephone(const Schedule& schedule) {
+  Schedule out;
+  std::size_t offset = 0;
+  const std::size_t src_rounds = schedule.total_time();
+  for (std::size_t t = 0; t < src_rounds; ++t) {
+    std::size_t width = 1;
+    for (const auto& tx : schedule.round(t)) {
+      width = std::max(width, tx.receivers.size());
+    }
+    for (const auto& tx : schedule.round(t)) {
+      for (std::size_t k = 0; k < tx.receivers.size(); ++k) {
+        out.add(offset + k, {tx.message, tx.sender, {tx.receivers[k]}});
+      }
+    }
+    offset += width;
+  }
+  out.trim();
+  return out;
+}
+
+Schedule legalize_broadcast_channel(const graph::Graph& g,
+                                    const Schedule& schedule) {
+  Schedule out;
+  std::size_t offset = 0;
+  const std::size_t src_rounds = schedule.total_time();
+  std::vector<SubRound> block;
+  for (std::size_t t = 0; t < src_rounds; ++t) {
+    block.clear();
+    for (const auto& tx : schedule.round(t)) {
+      SubRound* slot = nullptr;
+      for (SubRound& sub : block) {
+        if (fits_broadcast_subround(g, tx, sub)) {
+          slot = &sub;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        // A transmission always fits alone: D is a subset of N(sender), a
+        // lone transmitter is every listener's only transmitting neighbor.
+        block.emplace_back();
+        slot = &block.back();
+      }
+      slot->txs.push_back(&tx);
+      slot->senders.push_back(tx.sender);
+      slot->intended.insert(slot->intended.end(), tx.receivers.begin(),
+                            tx.receivers.end());
+    }
+    if (block.empty()) block.emplace_back();  // keep source pacing
+    for (std::size_t k = 0; k < block.size(); ++k) {
+      for (const Transmission* tx : block[k].txs) {
+        const auto neighbors = g.neighbors(tx->sender);
+        out.add(offset + k,
+                {tx->message, tx->sender,
+                 std::vector<Vertex>(neighbors.begin(), neighbors.end())});
+      }
+    }
+    offset += block.size();
+  }
+  out.trim();
+  return out;
+}
+
+}  // namespace
+
+AdaptResult adapt_schedule(const graph::Graph& g, const Schedule& schedule,
+                           const CommModel& model) {
+  AdaptResult result;
+  switch (model.kind()) {
+    case ModelKind::kMulticast:
+    case ModelKind::kDirect:
+      // Direct addressing relaxes the adjacency rule only: every
+      // multicast-legal schedule is already legal.
+      result.schedule = schedule;
+      break;
+    case ModelKind::kTelephone:
+      result.schedule = legalize_telephone(schedule);
+      break;
+    case ModelKind::kRadio:
+    case ModelKind::kBeep:
+      result.schedule = legalize_broadcast_channel(g, schedule);
+      break;
+  }
+  result.structural_rounds = result.schedule.total_time();
+  result.model_rounds =
+      model.model_time(result.structural_rounds, g.vertex_count());
+  const std::size_t src = schedule.total_time();
+  result.stretch =
+      result.structural_rounds > src ? result.structural_rounds - src : 0;
+  return result;
+}
+
+Schedule direct_ring_schedule(graph::Vertex n,
+                              const std::vector<Message>& initial) {
+  MG_EXPECTS(initial.empty() || initial.size() == n);
+  Schedule out;
+  if (n < 2) return out;
+  const auto message_of = [&](Vertex origin) {
+    return initial.empty() ? static_cast<Message>(origin) : initial[origin];
+  };
+  // Round t: node i forwards the message originating at ring position
+  // i - t to node i + 1; it received that message at time t (t > 0), so
+  // the relay is exactly receive-before-send tight.
+  for (std::size_t t = 0; t + 1 < n; ++t) {
+    for (Vertex i = 0; i < n; ++i) {
+      const Vertex origin =
+          static_cast<Vertex>((i + n - (t % n)) % n);
+      out.add(t, {message_of(origin), i, {static_cast<Vertex>((i + 1) % n)}});
+    }
+  }
+  return out;
+}
+
+Schedule radio_greedy_schedule(const graph::Graph& g,
+                               const std::vector<Message>& initial) {
+  const Vertex n = g.vertex_count();
+  MG_EXPECTS(initial.empty() || initial.size() == n);
+  Schedule out;
+  if (n < 2) return out;
+
+  const std::size_t words = (static_cast<std::size_t>(n) + 63) / 64;
+  std::vector<std::uint64_t> hold(static_cast<std::size_t>(n) * words, 0);
+  std::vector<std::size_t> known(n, 1);
+  for (Vertex v = 0; v < n; ++v) {
+    const Message m = initial.empty() ? v : initial[v];
+    MG_EXPECTS(m < n);
+    hold[static_cast<std::size_t>(v) * words + (m >> 6)] |=
+        std::uint64_t{1} << (m & 63);
+  }
+
+  struct Candidate {
+    Vertex sender = 0;
+    Message message = 0;
+    std::size_t score = 0;  ///< neighbors currently lacking the message
+  };
+  std::vector<Candidate> candidates;
+  std::vector<Message> next_m(n, 0);  // per-sender fair rotation pointer
+  std::vector<std::uint64_t> useful(words, 0);
+  // Closed-neighborhood occupancy for the 2-hop independence rule,
+  // round-stamped so no per-round clear is needed.
+  std::vector<std::size_t> occupied(n, SIZE_MAX);
+
+  std::size_t complete = 0;
+  for (Vertex v = 0; v < n; ++v) complete += known[v] == n ? 1u : 0u;
+
+  for (std::size_t t = 0; complete < n; ++t) {
+    candidates.clear();
+    for (Vertex v = 0; v < n; ++v) {
+      const auto* hv = &hold[static_cast<std::size_t>(v) * words];
+      bool any = false;
+      for (std::size_t w = 0; w < words; ++w) useful[w] = 0;
+      for (const Vertex r : g.neighbors(v)) {
+        const auto* hr = &hold[static_cast<std::size_t>(r) * words];
+        for (std::size_t w = 0; w < words; ++w) {
+          useful[w] |= hv[w] & ~hr[w];
+          any = any || useful[w] != 0;
+        }
+      }
+      if (!any) continue;
+      // First useful message at or after the rotation pointer (wrapping),
+      // so low-id messages do not starve the rest of the flood.
+      Message chosen = static_cast<Message>(n);
+      for (std::size_t step = 0; step < 2; ++step) {
+        const Message lo = step == 0 ? next_m[v] : 0;
+        const Message hi = step == 0 ? static_cast<Message>(n) : next_m[v];
+        for (Message m = lo; m < hi; ++m) {
+          if ((useful[m >> 6] >> (m & 63)) & 1) {
+            chosen = m;
+            break;
+          }
+        }
+        if (chosen < n) break;
+      }
+      MG_ASSERT(chosen < n);
+      std::size_t score = 0;
+      for (const Vertex r : g.neighbors(v)) {
+        const auto* hr = &hold[static_cast<std::size_t>(r) * words];
+        score += ((hr[chosen >> 6] >> (chosen & 63)) & 1) == 0 ? 1 : 0;
+      }
+      candidates.push_back({v, chosen, score});
+    }
+    // A connected incomplete network always has a knowledge frontier.
+    MG_ASSERT(!candidates.empty());
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.score > b.score;
+                     });
+    bool sent = false;
+    for (const Candidate& c : candidates) {
+      if (occupied[c.sender] == t) continue;
+      bool clash = false;
+      for (const Vertex r : g.neighbors(c.sender)) {
+        if (occupied[r] == t) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      occupied[c.sender] = t;
+      for (const Vertex r : g.neighbors(c.sender)) occupied[r] = t;
+      const auto neighbors = g.neighbors(c.sender);
+      out.add(t, {c.message, c.sender,
+                  std::vector<Vertex>(neighbors.begin(), neighbors.end())});
+      next_m[c.sender] = static_cast<Message>((c.message + 1) % n);
+      sent = true;
+      // Deliveries land at t + 1; applying them before round t + 1's
+      // candidate scan is exactly receive-before-send.
+      for (const Vertex r : neighbors) {
+        std::uint64_t& w =
+            hold[static_cast<std::size_t>(r) * words + (c.message >> 6)];
+        const std::uint64_t mask = std::uint64_t{1} << (c.message & 63);
+        if ((w & mask) == 0) {
+          w |= mask;
+          if (++known[r] == n) ++complete;
+        }
+      }
+    }
+    MG_ASSERT(sent);  // the top candidate always fits an empty round
+  }
+  return out;
+}
+
+}  // namespace mg::model

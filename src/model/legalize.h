@@ -1,0 +1,87 @@
+// Scheduler adapters across communication models.
+//
+// Every algorithm in src/gossip emits schedules that are legal under the
+// paper's multicast model.  `adapt_schedule` re-targets such a schedule to
+// any built-in `CommModel` by *legalization*: each multicast round expands
+// into a block of model-legal sub-rounds that performs the same intended
+// deliveries, with a barrier between blocks so the receive-before-send
+// dependency structure of the source schedule is preserved round for round.
+//
+//  * multicast — identity.
+//  * direct    — identity: adjacency is the only multicast rule direct
+//    addressing relaxes, so every multicast-legal schedule is direct-legal.
+//  * telephone — round t becomes max |D| sub-rounds; sub-round k carries
+//    each transmission's k-th receiver as a unicast (senders stay distinct,
+//    and the source round's disjoint D sets keep receivers distinct).
+//  * radio / beep — each transmission (m, l, D) becomes the
+//    full-neighborhood broadcast (m, l, N(l)); transmissions of one source
+//    round are greedily packed into sub-rounds such that every *intended*
+//    receiver r in D hears exactly one transmitting neighbor and is not
+//    itself transmitting.  A transmission always fits alone in a fresh
+//    sub-round (D is a subset of N(l)), so legalization never fails; bonus
+//    deliveries to unintended neighbors are harmless extra knowledge, and
+//    collisions at unintended receivers are legal losses.
+//
+// Legalization is intentionally round-count *monotone*: each source round
+// costs >= 1 sub-round, which is what makes the cross-model dominance
+// gates of bench/model_matrix hold by construction (see docs/MODELS.md for
+// which orderings are instance-dependent instead).
+//
+// Where legalization is wasteful (or, for degraded partial schedules,
+// cannot complete), two model-native greedy schedulers build gossip
+// schedules from scratch:
+//
+//  * `direct_ring_schedule` — the virtual-ring systolic all-gather: node i
+//    forwards, in round t, the message originating at ring position
+//    i - t to node i + 1.  Completes in the optimal n - 1 rounds on any
+//    topology, because direct addressing does not care about edges.
+//  * `radio_greedy_schedule` — collision-free greedy flooding: per round,
+//    admit transmitters in decreasing useful-delivery order subject to a
+//    2-hop independence rule (closed neighborhoods of admitted senders
+//    pairwise disjoint), which guarantees every neighbor of an admitted
+//    sender decodes.  At least the best candidate is admitted each round,
+//    so the schedule completes on every connected graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/comm_model.h"
+#include "model/schedule.h"
+
+namespace mg::model {
+
+struct AdaptResult {
+  Schedule schedule;  ///< legal under the target model
+  /// Structural rounds (== schedule.total_time()); multiply by
+  /// `CommModel::round_cost` for model time.
+  std::size_t structural_rounds = 0;
+  /// Model time units: structural_rounds * round_cost(n).
+  std::size_t model_rounds = 0;
+  /// Sub-rounds added beyond the source schedule's round count.
+  std::size_t stretch = 0;
+};
+
+/// Re-targets `schedule` (multicast-legal on `g`) to `model`.  The result
+/// performs every intended delivery of the source schedule, in source-round
+/// order, and is legal under the target model's validator.
+[[nodiscard]] AdaptResult adapt_schedule(const graph::Graph& g,
+                                         const Schedule& schedule,
+                                         const CommModel& model);
+
+/// Virtual-ring systolic all-gather under direct addressing: n - 1 rounds,
+/// one unicast per node per round, no edge constraints.  `initial[v]` is
+/// the message held by v at time 0 (empty = identity).
+[[nodiscard]] Schedule direct_ring_schedule(
+    graph::Vertex n, const std::vector<Message>& initial = {});
+
+/// Greedy collision-free flooding for the radio/beep structure: every
+/// transmission reaches the sender's full neighborhood, admitted senders
+/// have pairwise-disjoint closed neighborhoods.  Completes gossip on any
+/// connected graph; rounds are not bounded by a closed form (reported, not
+/// gated, in the bench).  `initial[v]` as above.
+[[nodiscard]] Schedule radio_greedy_schedule(
+    const graph::Graph& g, const std::vector<Message>& initial = {});
+
+}  // namespace mg::model

@@ -23,6 +23,13 @@ ValidationReport validate_schedule_general(
     const std::vector<std::vector<Message>>& initial_sets,
     std::size_t message_count, const ValidatorOptions& options) {
   const graph::Vertex n = g.vertex_count();
+  const CommModel& model =
+      options.model != nullptr
+          ? *options.model
+          : builtin_model(options.variant == ModelVariant::kTelephone
+                              ? ModelKind::kTelephone
+                              : ModelKind::kMulticast);
+  const bool collisions = model.collision_loss();
   ValidationReport report;
 
   if (initial_sets.size() != n) {
@@ -30,6 +37,7 @@ ValidationReport validate_schedule_general(
     return report;
   }
   std::vector<DynamicBitset> hold(n, DynamicBitset(message_count));
+  std::vector<std::size_t> lacking(n, 0);
   for (graph::Vertex v = 0; v < n; ++v) {
     for (Message m : initial_sets[v]) {
       if (m >= message_count) {
@@ -38,7 +46,9 @@ ValidationReport validate_schedule_general(
       }
       hold[v].set(m);
     }
+    lacking[v] = message_count - hold[v].count();
   }
+  if (collisions) report.completion_time.assign(n, 0);
 
   // Arrivals from round t are applied at the start of processing round t+1
   // (receive-before-send), recorded here as (receiver, message) pairs.
@@ -46,12 +56,37 @@ ValidationReport validate_schedule_general(
 
   std::vector<std::size_t> receiver_seen(n, SIZE_MAX);
   std::vector<std::size_t> sender_seen(n, SIZE_MAX);
+  // Same-round arrivals per receiver, for the collision verdict (only
+  // maintained under a collision-loss model).
+  std::vector<std::size_t> incoming(collisions ? n : 0, 0);
 
-  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+  // Applies the previous round's candidate deliveries to the hold sets.
+  // Under a collision model a candidate lands only if the receiver was not
+  // itself transmitting (half-duplex) and heard exactly one transmission;
+  // `prev` is the round the candidates were sent in.
+  const auto apply_in_flight = [&](std::size_t prev, std::size_t at) {
     for (const auto& [receiver, message] : in_flight) {
+      if (collisions) {
+        if (sender_seen[receiver] == prev || incoming[receiver] >= 2) {
+          ++report.collided;
+          continue;
+        }
+        if (!hold[receiver].test(message)) {
+          hold[receiver].set(message);
+          if (--lacking[receiver] == 0) report.completion_time[receiver] = at;
+        }
+        continue;
+      }
       hold[receiver].set(message);
     }
     in_flight.clear();
+  };
+
+  for (std::size_t t = 0; t < schedule.round_count(); ++t) {
+    apply_in_flight(t == 0 ? SIZE_MAX : t - 1, t);
+    if (collisions) {
+      for (graph::Vertex v = 0; v < n; ++v) incoming[v] = 0;
+    }
 
     for (const auto& tx : schedule.round(t)) {
       if (tx.sender >= n) {
@@ -66,9 +101,10 @@ ValidationReport validate_schedule_general(
         report.error = "empty receiver set at " + describe(tx, t);
         return report;
       }
-      if (options.variant == ModelVariant::kTelephone &&
-          tx.receivers.size() != 1) {
-        report.error = "multicast under telephone model at " + describe(tx, t);
+      if (std::string shape =
+              model.receiver_set_error(g, tx.sender, tx.receivers);
+          !shape.empty()) {
+        report.error = shape + " at " + describe(tx, t);
         return report;
       }
       if (sender_seen[tx.sender] == t) {
@@ -91,25 +127,28 @@ ValidationReport validate_schedule_general(
           report.error = "self-delivery at " + describe(tx, t);
           return report;
         }
-        if (!g.has_edge(tx.sender, r)) {
+        if (model.requires_adjacency() && !g.has_edge(tx.sender, r)) {
           report.error = "receiver " + std::to_string(r) +
                          " not adjacent to sender at " + describe(tx, t);
           return report;
         }
-        if (receiver_seen[r] == t) {
-          report.error = "processor " + std::to_string(r) +
-                         " receives two messages in one round at " +
-                         describe(tx, t);
-          return report;
+        if (!collisions) {
+          if (receiver_seen[r] == t) {
+            report.error = "processor " + std::to_string(r) +
+                           " receives two messages in one round at " +
+                           describe(tx, t);
+            return report;
+          }
+          receiver_seen[r] = t;
+        } else {
+          ++incoming[r];
         }
-        receiver_seen[r] = t;
         in_flight.emplace_back(r, tx.message);
       }
     }
   }
-  for (const auto& [receiver, message] : in_flight) {
-    hold[receiver].set(message);
-  }
+  const std::size_t rounds = schedule.round_count();
+  apply_in_flight(rounds == 0 ? SIZE_MAX : rounds - 1, rounds);
 
   report.total_time = schedule.total_time();
 
@@ -122,6 +161,13 @@ ValidationReport validate_schedule_general(
                        std::to_string(message_count) + ")";
         return report;
       }
+    }
+    if (collisions) {
+      // Completion times were tracked in the delivery pass (the replay
+      // below assumes every scheduled receiver decodes, which is exactly
+      // what a collision model does not guarantee).
+      report.ok = true;
+      return report;
     }
     // Second pass for per-processor completion times.
     report.completion_time.assign(n, 0);

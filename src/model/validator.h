@@ -1,19 +1,28 @@
-// Independent checker for communication schedules against the paper's
-// model (§1).  Every schedule produced by every algorithm in this library
-// is validated by this module in the test suite; it shares no code with the
+// Independent checker for communication schedules against a communication
+// model.  Every schedule produced by every algorithm in this library is
+// validated by this module in the test suite; it shares no code with the
 // schedule generators, so agreement is meaningful evidence of correctness.
 //
-// Checked rules, per round t:
-//   1. every receiver appears in at most one D set (rule 1);
+// The rules enforced are the selected `CommModel`'s (comm_model.h); under
+// the default multicast model they are exactly the paper's (§1), per
+// round t:
+//   1. every receiver appears in at most one D set (rule 1) — for
+//      exclusive-receiver models; under a broadcast-channel model
+//      (radio/beep) simultaneous arrivals are legal but *collide*: the
+//      receiver decodes nothing, and a transmitting processor hears
+//      nothing (half-duplex);
 //   2. all sender indices are distinct (rule 2);
-//   3. every receiver is adjacent to its sender in the network;
+//   3. every receiver is adjacent to its sender in the network — unless
+//      the model addresses by id (direct);
 //   4. no processor sends to itself;
 //   5. the sender holds the message at send time — where the hold set
 //      h_l(t) includes messages received at time t (receive happens before
 //      send: a message sent at t-1 arrives at t and may be forwarded at t);
-//   6. (telephone variant) every D set is a singleton;
+//   6. the model's capacity/addressing shape holds: |D| = 1 under
+//      telephone, D = N(sender) under radio/beep;
 //   7. (optional) completion: after the last arrival every processor holds
-//      all n messages.
+//      all n messages — under the model's delivery rule, so collided
+//      arrivals do not count.
 #pragma once
 
 #include <cstdint>
@@ -21,11 +30,13 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "model/comm_model.h"
 #include "model/schedule.h"
 
 namespace mg::model {
 
-/// Which communication model to enforce.
+/// Which communication model to enforce (legacy selector; the general
+/// mechanism is `ValidatorOptions::model`).
 enum class ModelVariant : std::uint8_t {
   kMulticast,  ///< D may be any neighbor subset (the paper's model)
   kTelephone,  ///< |D| = 1 (the restricted unicasting model)
@@ -36,6 +47,9 @@ struct ValidatorOptions {
   /// Require every processor to end holding all n messages (gossip
   /// completion).  Disable to validate partial schedules (e.g. broadcast).
   bool require_completion = true;
+  /// Communication model to validate against; overrides `variant` when
+  /// set.  nullptr = the variant's built-in (multicast or telephone).
+  const CommModel* model = nullptr;
 };
 
 struct ValidationReport {
@@ -48,6 +62,11 @@ struct ValidationReport {
 
   /// Latest receive time observed (== schedule total_time()).
   std::size_t total_time = 0;
+
+  /// Deliveries lost to receiver-side collisions (superimposed arrivals or
+  /// a half-duplex transmitter) — always 0 under exclusive-receiver
+  /// models, where simultaneous arrivals are a rule violation instead.
+  std::size_t collided = 0;
 };
 
 /// Validates `schedule` on network `g`.  `initial[v]` is the message

@@ -70,6 +70,8 @@
 #include "gossip/weighted.h"         // IWYU pragma: export
 #include "mmc/greedy.h"              // IWYU pragma: export
 #include "mmc/problem.h"             // IWYU pragma: export
+#include "model/comm_model.h"        // IWYU pragma: export
+#include "model/legalize.h"          // IWYU pragma: export
 #include "model/schedule.h"          // IWYU pragma: export
 #include "model/stats.h"             // IWYU pragma: export
 #include "model/validator.h"         // IWYU pragma: export

@@ -41,6 +41,13 @@ SimResult run_simulation(const graph::Graph& g,
       options.faults != nullptr && !options.faults->empty() ? options.faults
                                                             : nullptr;
   const std::size_t offset = options.fault_round_offset;
+  const bool collisions =
+      options.comm != nullptr && options.comm->collision_loss();
+  // Round-stamped channel state for the collision verdict, sized only when
+  // a collision-loss model is active — the default path allocates nothing.
+  std::vector<std::size_t> last_tx(collisions ? n : 0, SIZE_MAX);
+  std::vector<std::size_t> heard_round(collisions ? n : 0, SIZE_MAX);
+  std::vector<std::uint8_t> heard_count(collisions ? n : 0, 0);
 
   std::vector<std::size_t> known(n, 0);
   std::size_t total_known = 0;
@@ -78,6 +85,27 @@ SimResult run_simulation(const graph::Graph& g,
       result.knowledge.push_back(total_known);  // state at time t
     }
     const std::size_t abs_t = offset + t;
+    if (collisions) {
+      // Channel pre-pass: who actually transmits this round (the same
+      // crash/drop/hold verdicts as the delivery loop below — all pure
+      // queries) and how many transmissions each receiver hears.
+      for (const auto& tx : schedule.round(t)) {
+        if (plan != nullptr && plan->crashed(tx.sender, abs_t)) continue;
+        if (legacy_drops.contains(t, tx.sender) ||
+            (plan != nullptr && plan->drops(abs_t, tx.sender))) {
+          continue;
+        }
+        if (!hold[tx.sender].test(tx.message)) continue;
+        last_tx[tx.sender] = t;
+        for (Vertex r : tx.receivers) {
+          if (heard_round[r] != t) {
+            heard_round[r] = t;
+            heard_count[r] = 0;
+          }
+          if (heard_count[r] < 2) ++heard_count[r];
+        }
+      }
+    }
     for (const auto& tx : schedule.round(t)) {
       const Vertex first_receiver =
           tx.receivers.empty() ? tx.sender : tx.receivers.front();
@@ -115,6 +143,18 @@ SimResult run_simulation(const graph::Graph& g,
                                 first_receiver, tx.receivers.size()});
       }
       for (Vertex r : tx.receivers) {
+        if (collisions && (last_tx[r] == t || heard_count[r] >= 2)) {
+          // heard_round[r] == t is guaranteed: this very transmission was
+          // counted in the pre-pass.  The receiver decodes nothing — either
+          // it was itself transmitting (half-duplex) or >= 2 transmissions
+          // superimposed.
+          ++result.collided_receives;
+          if (options.sink != nullptr) {
+            options.sink->on_event(
+                {"collide", t, r, tx.message, tx.sender, 0});
+          }
+          continue;
+        }
         const std::size_t arrival =
             t + 1 +
             (plan != nullptr ? plan->extra_delay(tx.sender, r) : 0);
@@ -158,6 +198,9 @@ SimResult run_simulation(const graph::Graph& g,
   MG_OBS_ADD("sim.deliveries", deliveries);
   MG_OBS_ADD("sim.dropped_transmissions", result.injected_drops);
   MG_OBS_ADD("sim.skipped_sends", result.skipped_sends);
+  if (result.collided_receives > 0) {
+    MG_OBS_ADD("sim.collided_receives", result.collided_receives);
+  }
   if (result.injected_drops > 0) {
     MG_OBS_ADD("fault.injected_drops", result.injected_drops);
   }
@@ -204,6 +247,18 @@ SimResult run_simulation_words(const graph::Graph& g,
       options.faults != nullptr && !options.faults->empty() ? options.faults
                                                             : nullptr;
   const std::size_t offset = options.fault_round_offset;
+  const bool collisions =
+      options.comm != nullptr && options.comm->collision_loss();
+  // Round-stamped channel state for the collision verdict, sized only when
+  // a collision-loss model is active — the default path allocates nothing.
+  std::vector<std::size_t> last_tx(collisions ? n : 0, SIZE_MAX);
+  std::vector<std::size_t> heard_round(collisions ? n : 0, SIZE_MAX);
+  std::vector<std::uint8_t> heard_count(collisions ? n : 0, 0);
+  const auto sender_holds_message = [&](Vertex v, Message m) {
+    return ((hold[static_cast<std::size_t>(v) * words + (m >> 6)] >>
+             (m & 63)) &
+            1) != 0;
+  };
 
   std::size_t total_known = 0;
   for (Vertex v = 0; v < n; ++v) total_known += known[v];
@@ -250,7 +305,8 @@ SimResult run_simulation_words(const graph::Graph& g,
   // branches statically absent.  Identical events and counters; the
   // general loop is the reference and sim_core_test pins the equality.
   const bool fast_path = plan == nullptr && !has_legacy_drops &&
-                         options.sink == nullptr && !options.record_trace;
+                         options.sink == nullptr && !options.record_trace &&
+                         !collisions;
   if (fast_path) {
     for (std::size_t t = 0; t < rounds; ++t) {
       if (t > 0) {
@@ -288,6 +344,27 @@ SimResult run_simulation_words(const graph::Graph& g,
       result.knowledge.push_back(total_known);  // state at time t
     }
     const std::size_t abs_t = offset + t;
+    if (collisions) {
+      // Channel pre-pass: who actually transmits this round (the same
+      // crash/drop/hold verdicts as the delivery loop below — all pure
+      // queries) and how many transmissions each receiver hears.
+      for (const auto& tx : schedule.round(t)) {
+        if (plan != nullptr && plan->crashed(tx.sender, abs_t)) continue;
+        if ((has_legacy_drops && legacy_drops.contains(t, tx.sender)) ||
+            (plan != nullptr && plan->drops(abs_t, tx.sender))) {
+          continue;
+        }
+        if (!sender_holds_message(tx.sender, tx.message)) continue;
+        last_tx[tx.sender] = t;
+        for (Vertex r : schedule.receivers(tx)) {
+          if (heard_round[r] != t) {
+            heard_round[r] = t;
+            heard_count[r] = 0;
+          }
+          if (heard_count[r] < 2) ++heard_count[r];
+        }
+      }
+    }
     for (const auto& tx : schedule.round(t)) {
       const auto receivers = schedule.receivers(tx);
       const Vertex first_receiver =
@@ -334,6 +411,18 @@ SimResult run_simulation_words(const graph::Graph& g,
       }
       for (Vertex r : receivers) {
         MG_EXPECTS(r < n);
+        if (collisions && (last_tx[r] == t || heard_count[r] >= 2)) {
+          // heard_round[r] == t is guaranteed: this very transmission was
+          // counted in the pre-pass.  The receiver decodes nothing — either
+          // it was itself transmitting (half-duplex) or >= 2 transmissions
+          // superimposed.
+          ++result.collided_receives;
+          if (options.sink != nullptr) {
+            options.sink->on_event(
+                {"collide", t, r, tx.message, tx.sender, 0});
+          }
+          continue;
+        }
         const std::size_t arrival =
             t + 1 +
             (plan != nullptr ? plan->extra_delay(tx.sender, r) : 0);
@@ -387,6 +476,9 @@ SimResult run_simulation_words(const graph::Graph& g,
   MG_OBS_ADD("sim.words_or_ops", word_ops);
   MG_OBS_ADD("sim.dropped_transmissions", result.injected_drops);
   MG_OBS_ADD("sim.skipped_sends", result.skipped_sends);
+  if (result.collided_receives > 0) {
+    MG_OBS_ADD("sim.collided_receives", result.collided_receives);
+  }
   if (result.injected_drops > 0) {
     MG_OBS_ADD("fault.injected_drops", result.injected_drops);
   }

@@ -13,6 +13,7 @@
 
 #include "fault/fault.h"
 #include "graph/graph.h"
+#include "model/comm_model.h"
 #include "model/compiled.h"
 #include "model/schedule.h"
 #include "obs/trace.h"
@@ -67,6 +68,17 @@ struct SimOptions {
   /// gossip/timeline.h) can attribute every loss to its round.  Works
   /// independently of record_trace; nullptr disables streaming.
   obs::TraceSink* sink = nullptr;
+  /// Communication model the network executes under; nullptr = the paper's
+  /// multicast model.  Exclusive-receiver models (multicast, telephone,
+  /// direct) all execute identically — the simulator applies deliveries, it
+  /// does not re-check legality (that is the validator's job).  Under a
+  /// collision-loss model (radio, beep) a delivery is destroyed when the
+  /// receiver transmitted in the same round (half-duplex) or hears more
+  /// than one transmission: counted in `collided_receives`, streamed to the
+  /// sink as "collide" at the send round.  Collisions are judged at the
+  /// send round, before per-edge delay faults displace arrival times — a
+  /// collision is a channel event, not a delivery event.
+  const model::CommModel* comm = nullptr;
 };
 
 struct SimEvent {
@@ -102,6 +114,10 @@ struct SimResult {
   /// Point-to-point deliveries lost because the receiver was dead (or died
   /// in flight) at arrival time.
   std::size_t lost_receives = 0;
+  /// Deliveries destroyed by receiver-side collisions (superimposed
+  /// arrivals or a half-duplex transmitter) — always 0 unless
+  /// `SimOptions::comm` is a collision-loss model.
+  std::size_t collided_receives = 0;
   /// Final per-node hold sets (bit m = node knows message m) — the input
   /// for gossip recovery after a faulty run.
   std::vector<DynamicBitset> final_holds;

@@ -1,6 +1,8 @@
 // Unit tests for the CSR graph substrate and its text I/O.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "support/contracts.h"
@@ -74,7 +76,8 @@ TEST(Graph, FromCsrEquivalentToFromEdges) {
   // Path 0-1-2: offsets {0, 1, 3, 4}, adjacency {1, 0, 2, 1}.
   const Graph direct =
       Graph::from_csr({0, 1, 3, 4}, {1, 0, 2, 1});
-  EXPECT_EQ(direct, Graph::from_edges(3, {{0, 1}, {1, 2}}));
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  EXPECT_EQ(direct, Graph::from_edges(3, edges));
 }
 
 TEST(Graph, FromCsrRejectsMalformedInput) {

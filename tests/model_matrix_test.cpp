@@ -1,0 +1,249 @@
+// Cross-model differential matrix: every named graph family × gossip
+// algorithm × communication model.  Three independent implementations look
+// at every adapted schedule — the scheduler adapter (model/legalize.h), the
+// model-aware validator, and the simulator executing under the model — and
+// must agree on acceptance, completion and timing.
+//
+// The refactor's safety gate rides here too: passing the default multicast
+// model explicitly (`SimOptions::comm = &multicast_model()`,
+// `ValidatorOptions::model = &multicast_model()`) must reproduce the
+// implicit default bit for bit — every SimResult field, every trace event,
+// every validator report field — on both execution cores.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "fault/fault.h"
+#include "gossip/solve.h"
+#include "model/comm_model.h"
+#include "model/legalize.h"
+#include "model/validator.h"
+#include "sim/network_sim.h"
+#include "test_util.h"
+
+namespace mg {
+namespace {
+
+constexpr gossip::Algorithm kAlgorithms[] = {
+    gossip::Algorithm::kSimple, gossip::Algorithm::kUpDown,
+    gossip::Algorithm::kConcurrentUpDown, gossip::Algorithm::kTelephone};
+
+/// Full field-for-field SimResult equality — the "bit-identical" check.
+void expect_sim_equal(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.knowledge, b.knowledge);
+  EXPECT_EQ(a.missing, b.missing);
+  EXPECT_EQ(a.skipped_sends, b.skipped_sends);
+  EXPECT_EQ(a.injected_drops, b.injected_drops);
+  EXPECT_EQ(a.crashed_sends, b.crashed_sends);
+  EXPECT_EQ(a.lost_receives, b.lost_receives);
+  EXPECT_EQ(a.collided_receives, b.collided_receives);
+  EXPECT_EQ(a.final_holds, b.final_holds);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].kind, b.trace[i].kind) << "event " << i;
+    EXPECT_EQ(a.trace[i].time, b.trace[i].time) << "event " << i;
+    EXPECT_EQ(a.trace[i].node, b.trace[i].node) << "event " << i;
+    EXPECT_EQ(a.trace[i].message, b.trace[i].message) << "event " << i;
+    EXPECT_EQ(a.trace[i].peer, b.trace[i].peer) << "event " << i;
+  }
+}
+
+void expect_report_equal(const model::ValidationReport& a,
+                         const model::ValidationReport& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.collided, b.collided);
+}
+
+// The explicit default model must be indistinguishable from no model at
+// all: same simulator results (events, traces, final holds) on both cores,
+// same validator reports.
+TEST(ModelMatrix, DefaultModelBitIdentical) {
+  for (const auto& family : test::families()) {
+    const graph::Graph g = family.make(6);
+    for (const gossip::Algorithm algorithm : kAlgorithms) {
+      SCOPED_TRACE(family.name + " " + gossip::algorithm_name(algorithm));
+      const gossip::Solution sol = gossip::solve_gossip(g, algorithm);
+      ASSERT_TRUE(sol.report.ok) << sol.report.error;
+      const graph::Graph tree = sol.instance.tree().as_graph();
+
+      for (const sim::SimCore core :
+           {sim::SimCore::kWordParallel, sim::SimCore::kBitwise}) {
+        sim::SimOptions implicit;
+        implicit.core = core;
+        implicit.record_trace = true;
+        sim::SimOptions explicit_default = implicit;
+        explicit_default.comm = &model::multicast_model();
+        expect_sim_equal(
+            sim::simulate(tree, sol.schedule, sol.instance.initial(),
+                          implicit),
+            sim::simulate(tree, sol.schedule, sol.instance.initial(),
+                          explicit_default));
+      }
+
+      model::ValidatorOptions with_model;
+      with_model.model = &model::multicast_model();
+      expect_report_equal(
+          model::validate_schedule(tree, sol.schedule, sol.instance.initial()),
+          model::validate_schedule(tree, sol.schedule, sol.instance.initial(),
+                                   with_model));
+    }
+  }
+}
+
+// The legacy telephone variant selector and the telephone CommModel are the
+// same rules: identical reports on legalized-telephone schedules and
+// identical rejections on multicast ones.
+TEST(ModelMatrix, TelephoneVariantEqualsTelephoneModel) {
+  for (const auto& family : test::families()) {
+    const graph::Graph g = family.make(5);
+    SCOPED_TRACE(family.name);
+    const gossip::Solution sol =
+        gossip::solve_gossip(g, gossip::Algorithm::kSimple);
+    ASSERT_TRUE(sol.report.ok) << sol.report.error;
+    const graph::Graph tree = sol.instance.tree().as_graph();
+    const auto adapted =
+        model::adapt_schedule(tree, sol.schedule, model::telephone_model());
+
+    model::ValidatorOptions by_variant;
+    by_variant.variant = model::ModelVariant::kTelephone;
+    model::ValidatorOptions by_model;
+    by_model.model = &model::telephone_model();
+    expect_report_equal(
+        model::validate_schedule(tree, adapted.schedule,
+                                 sol.instance.initial(), by_variant),
+        model::validate_schedule(tree, adapted.schedule,
+                                 sol.instance.initial(), by_model));
+    expect_report_equal(
+        model::validate_schedule(tree, sol.schedule, sol.instance.initial(),
+                                 by_variant),
+        model::validate_schedule(tree, sol.schedule, sol.instance.initial(),
+                                 by_model));
+  }
+}
+
+// The full matrix: adapt every algorithm's schedule to every model; the
+// model validator must accept it, the simulator executing under the model
+// must complete, and the two must agree on timing.
+TEST(ModelMatrix, EveryFamilyAlgorithmModelAgrees) {
+  for (const auto& family : test::families()) {
+    const graph::Graph g = family.make(6);
+    for (const gossip::Algorithm algorithm : kAlgorithms) {
+      const gossip::Solution sol = gossip::solve_gossip(g, algorithm);
+      ASSERT_TRUE(sol.report.ok) << sol.report.error;
+      const graph::Graph tree = sol.instance.tree().as_graph();
+
+      for (const model::CommModel* m : model::all_models()) {
+        SCOPED_TRACE(family.name + " " + gossip::algorithm_name(algorithm) +
+                     " model=" + m->name());
+        const auto adapted = model::adapt_schedule(tree, sol.schedule, *m);
+        EXPECT_EQ(adapted.structural_rounds, adapted.schedule.total_time());
+        EXPECT_EQ(adapted.model_rounds,
+                  m->model_time(adapted.structural_rounds,
+                                tree.vertex_count()));
+
+        model::ValidatorOptions options;
+        options.model = m;
+        const auto report = model::validate_schedule(
+            tree, adapted.schedule, sol.instance.initial(), options);
+        ASSERT_TRUE(report.ok) << report.error;
+
+        sim::SimOptions sim_options;
+        sim_options.comm = m;
+        const sim::SimResult run = sim::simulate(
+            tree, adapted.schedule, sol.instance.initial(), sim_options);
+        ASSERT_TRUE(run.completed);
+        EXPECT_EQ(run.collided_receives, report.collided);
+
+        // Simulator and validator agree on when gossip finished.
+        const std::size_t sim_completion = *std::max_element(
+            run.completion_time.begin(), run.completion_time.end());
+        const std::size_t validator_completion =
+            *std::max_element(report.completion_time.begin(),
+                              report.completion_time.end());
+        EXPECT_EQ(sim_completion, validator_completion);
+        EXPECT_LE(sim_completion, adapted.schedule.total_time());
+      }
+    }
+  }
+}
+
+// Model-native schedulers: the direct-addressing virtual ring hits the
+// optimal n - 1 rounds on every topology, and the radio greedy's 2-hop
+// independence rule makes every round collision-free by construction.
+TEST(ModelMatrix, NativeSchedulersValidateAndComplete) {
+  for (const auto& family : test::families()) {
+    const graph::Graph g = family.make(5);
+    const graph::Vertex n = g.vertex_count();
+    SCOPED_TRACE(family.name + " n=" + std::to_string(n));
+
+    const model::Schedule ring = model::direct_ring_schedule(n);
+    EXPECT_EQ(ring.total_time(), static_cast<std::size_t>(n) - 1);
+    model::ValidatorOptions direct_options;
+    direct_options.model = &model::direct_model();
+    const auto ring_report = model::validate_schedule(g, ring, {},
+                                                      direct_options);
+    ASSERT_TRUE(ring_report.ok) << ring_report.error;
+    sim::SimOptions ring_sim;
+    ring_sim.comm = &model::direct_model();
+    EXPECT_TRUE(sim::simulate(g, ring, {}, ring_sim).completed);
+
+    const model::Schedule greedy = model::radio_greedy_schedule(g);
+    EXPECT_GE(greedy.total_time(), static_cast<std::size_t>(n) - 1);
+    model::ValidatorOptions radio_options;
+    radio_options.model = &model::radio_model();
+    const auto greedy_report = model::validate_schedule(g, greedy, {},
+                                                        radio_options);
+    ASSERT_TRUE(greedy_report.ok) << greedy_report.error;
+    EXPECT_EQ(greedy_report.collided, 0u)
+        << "2-hop independence admitted a colliding pair";
+    sim::SimOptions greedy_sim;
+    greedy_sim.comm = &model::radio_model();
+    const sim::SimResult greedy_run = sim::simulate(g, greedy, {},
+                                                    greedy_sim);
+    EXPECT_TRUE(greedy_run.completed);
+    EXPECT_EQ(greedy_run.collided_receives, 0u);
+  }
+}
+
+// Fault plans compose with the model hook: under the default model a
+// faulted run is bit-identical with and without the explicit model, on both
+// cores — the refactor must not perturb fault semantics.
+TEST(ModelMatrix, FaultPlansIdenticalUnderExplicitDefault) {
+  for (const auto& family : test::families()) {
+    const graph::Graph g = family.make(6);
+    const gossip::Solution sol =
+        gossip::solve_gossip(g, gossip::Algorithm::kConcurrentUpDown);
+    ASSERT_TRUE(sol.report.ok) << sol.report.error;
+    const graph::Graph tree = sol.instance.tree().as_graph();
+
+    fault::FaultPlan plan;
+    plan.drop_rate(0.15).seed(0xfadeULL);
+    plan.crash(g.vertex_count() / 2, 3);
+    for (const sim::SimCore core :
+         {sim::SimCore::kWordParallel, sim::SimCore::kBitwise}) {
+      SCOPED_TRACE(family.name + (core == sim::SimCore::kBitwise
+                                      ? " bitwise"
+                                      : " word"));
+      sim::SimOptions implicit;
+      implicit.core = core;
+      implicit.faults = &plan;
+      implicit.record_trace = true;
+      sim::SimOptions explicit_default = implicit;
+      explicit_default.comm = &model::multicast_model();
+      expect_sim_equal(
+          sim::simulate(tree, sol.schedule, sol.instance.initial(), implicit),
+          sim::simulate(tree, sol.schedule, sol.instance.initial(),
+                        explicit_default));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mg
