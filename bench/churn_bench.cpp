@@ -45,6 +45,7 @@
 #include "graph/generators.h"
 #include "model/validator.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 #include "sim/network_sim.h"
 #include "support/bitset.h"
 #include "support/rng.h"
@@ -269,6 +270,10 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick) {
       options.horizon_rounds = horizon;
       const churn::ChurnFeed feed = churn::uniform_feed(g0, options);
 
+      // Per-row latency quantiles: the solver's patch / retree histograms
+      // start fresh for every sweep row (absent and all-zero under
+      // -DMG_OBS=OFF or a runtime-null registry).
+      obs::Registry::global().reset();
       churn::ChurnSolver solver(g0);
       double worst_staleness = 0.0;
       Stopwatch watch;
@@ -279,6 +284,11 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick) {
         worst_staleness = std::max(worst_staleness, staleness);
       }
       const double total_ms = watch.millis();
+      const obs::Snapshot metrics = obs::Registry::global().snapshot();
+      const obs::HistogramSnapshot patch_h =
+          metrics.histogram("churn.patch_ns");
+      const obs::HistogramSnapshot retree_h =
+          metrics.histogram("churn.retree_ns");
       const auto validation = model::validate_schedule(
           solver.graph().snapshot(), solver.schedule(), solver.initial(), {});
       const bool ok = validation.ok && worst_staleness <= 2.0;
@@ -295,6 +305,10 @@ int run(const std::string& out_path, std::uint64_t seed, bool quick) {
               feed.events.empty()
                   ? 0.0
                   : total_ms / static_cast<double>(feed.events.size()));
+      w.field("patch_ns_p50", patch_h.p50);
+      w.field("patch_ns_p99", patch_h.p99);
+      w.field("retree_ns_p50", retree_h.p50);
+      w.field("retree_ns_p99", retree_h.p99);
       w.field("worst_staleness", worst_staleness);
       w.field("staleness_gate", 2.0);
       w.field("ok", ok);

@@ -8,6 +8,7 @@
 //   $ ./dist_runner --graph grid:5x5 --algorithm updown --threads 8
 //   $ ./dist_runner --drop-rate 0.15 --crash 3:6 --seed 9
 //   $ ./dist_runner --timeline-out timeline.json
+//   $ ./dist_runner --flow-trace flow.json        # Perfetto causal flows
 //
 // Exit status: fault-free runs fail (exit 1) unless the emergent schedule
 // matches the central one round-for-round, the run completes, and — for
@@ -27,6 +28,9 @@
 #include "graph/generators.h"
 #include "graph/named.h"
 #include "model/validator.h"
+#include "obs/causal.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 
 namespace {
 
@@ -43,6 +47,7 @@ struct Options {
   std::size_t crash_round = 0;
   std::size_t budget = 0;
   std::string timeline_out;
+  std::string flow_trace_out;
 };
 
 void usage(const char* argv0) {
@@ -51,7 +56,8 @@ void usage(const char* argv0) {
       "usage: %s [--graph petersen|cycle:N|grid:RxC|hypercube:D]\n"
       "          [--algorithm simple|updown|concurrent-updown|telephone]\n"
       "          [--threads N] [--seed N] [--drop-rate P] [--crash V:ROUND]\n"
-      "          [--budget ROUNDS] [--timeline-out FILE]\n",
+      "          [--budget ROUNDS] [--timeline-out FILE]\n"
+      "          [--flow-trace FILE]\n",
       argv0);
 }
 
@@ -124,6 +130,8 @@ int main(int argc, char** argv) {
         opt.budget = std::stoul(next());
       } else if (flag == "--timeline-out") {
         opt.timeline_out = next();
+      } else if (flag == "--flow-trace") {
+        opt.flow_trace_out = next();
       } else {
         usage(argv[0]);
         return flag == "--help" ? 0 : 2;
@@ -167,9 +175,23 @@ int main(int argc, char** argv) {
   options.sink = &timeline;
   if (faulty) options.faults = &plan;
 
+  // Flow tracing is opt-in: the runtime mirrors its happens-before record
+  // into the global causal ring only while the tracer is enabled.
+  const bool want_flows = !opt.flow_trace_out.empty();
+  if (want_flows) {
+    obs::CausalTracer::global().clear();
+    obs::CausalTracer::global().set_enabled(true);
+    obs::SpanTracer::global().set_enabled(true);
+  }
+
   const dist::DistOutcome outcome =
       dist::run_distributed(network, opt.algorithm, options);
   const dist::RunReport& run = outcome.run;
+
+  if (want_flows) {
+    obs::CausalTracer::global().set_enabled(false);
+    obs::SpanTracer::global().set_enabled(false);
+  }
 
   std::printf("algorithm: %s on %s (n = %u, radius r = %u)\n",
               gossip::algorithm_name(opt.algorithm).c_str(),
@@ -189,6 +211,9 @@ int main(int argc, char** argv) {
   std::printf("result: %s, recovered %s, coverage %.4f\n",
               run.complete ? "complete" : "INCOMPLETE",
               run.recovered ? "yes" : "NO", run.coverage);
+  const dist::CriticalPath cp = dist::critical_path(run);
+  std::printf("critical path: %zu hops, causal length %zu rounds\n",
+              cp.hops.size(), cp.length);
 
   if (!opt.timeline_out.empty()) {
     std::ofstream out(opt.timeline_out);
@@ -198,6 +223,20 @@ int main(int argc, char** argv) {
     }
     timeline.write_json(out);
     std::printf("round timeline written to %s\n", opt.timeline_out.c_str());
+  }
+
+  if (want_flows) {
+    std::ofstream out(opt.flow_trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opt.flow_trace_out.c_str());
+      return 2;
+    }
+    obs::write_chrome_trace(out, obs::SpanTracer::global().snapshot(),
+                            obs::CausalTracer::global().snapshot());
+    std::printf("causal flow trace written to %s (%llu events)\n",
+                opt.flow_trace_out.c_str(),
+                static_cast<unsigned long long>(
+                    obs::CausalTracer::global().recorded()));
   }
 
   if (!faulty) {

@@ -9,6 +9,14 @@
 //   $ ./trace_viewer --graph cycle:9 --algorithm telephone
 //   $ ./trace_viewer --drop-rate 0.2 --seed 7
 //   $ ./trace_viewer --timeline-out timeline.json --trace-out trace.json
+//   $ ./trace_viewer --model radio                    # model-cost rendering
+//
+// With --model the multicast schedule is legalized for the named
+// communication model (model::adapt_schedule) and simulated under its
+// delivery semantics: the viewer reports structural rounds, the model's
+// round cost, model-time rounds (structural x round_cost) and — for the
+// collision channels (radio/beep) — collided transmissions, which also
+// surface as '!' cells in the activity map.
 //
 // For a fault-free ConcurrentUpDown run the viewer also checks Theorem 1:
 // the timeline must span exactly n + r send rounds, and the exit status
@@ -23,6 +31,8 @@
 #include "gossip/timeline.h"
 #include "graph/generators.h"
 #include "graph/named.h"
+#include "model/comm_model.h"
+#include "model/legalize.h"
 #include "obs/span.h"
 #include "obs/trace_export.h"
 #include "sim/network_sim.h"
@@ -38,6 +48,7 @@ struct Options {
   std::uint64_t seed = 0x5eed;
   std::string timeline_out;
   std::string trace_out;
+  const model::CommModel* comm = nullptr;  ///< nullptr = plain multicast
 };
 
 void usage(const char* argv0) {
@@ -46,7 +57,8 @@ void usage(const char* argv0) {
       "usage: %s [--graph petersen|cycle:N|grid:RxC|hypercube:D]\n"
       "          [--algorithm simple|updown|concurrent-updown|telephone]\n"
       "          [--drop-rate P] [--seed N]\n"
-      "          [--timeline-out FILE] [--trace-out FILE]\n",
+      "          [--timeline-out FILE] [--trace-out FILE]\n"
+      "          [--model multicast|telephone|radio|beep|direct]\n",
       argv0);
 }
 
@@ -76,6 +88,13 @@ gossip::Algorithm parse_algorithm(const std::string& name) {
   if (name == "concurrent-updown") return gossip::Algorithm::kConcurrentUpDown;
   if (name == "telephone") return gossip::Algorithm::kTelephone;
   throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+const model::CommModel& parse_model(const std::string& name) {
+  for (const model::CommModel* m : model::all_models()) {
+    if (m->name() == name) return *m;
+  }
+  throw std::invalid_argument("unknown model '" + name + "'");
 }
 
 /// One character per activity-grid cell.
@@ -140,6 +159,8 @@ int main(int argc, char** argv) {
         opt.timeline_out = next();
       } else if (flag == "--trace-out") {
         opt.trace_out = next();
+      } else if (flag == "--model") {
+        opt.comm = &parse_model(next());
       } else {
         usage(argv[0]);
         return flag == "--help" ? 0 : 2;
@@ -176,9 +197,18 @@ int main(int argc, char** argv) {
     plan.drop_rate(opt.drop_rate).seed(opt.seed);
     sim_options.faults = &plan;
   }
+  // With --model, legalize the multicast schedule for the target model and
+  // simulate under its delivery semantics (collision loss for radio/beep).
+  const graph::Graph sim_graph = sol.instance.tree().as_graph();
+  model::AdaptResult adapted;
+  const model::Schedule* schedule = &sol.schedule;
+  if (opt.comm != nullptr) {
+    adapted = model::adapt_schedule(sim_graph, sol.schedule, *opt.comm);
+    schedule = &adapted.schedule;
+    sim_options.comm = opt.comm;
+  }
   const sim::SimResult run =
-      sim::simulate(sol.instance.tree().as_graph(), sol.schedule,
-                    sol.instance.initial(), sim_options);
+      sim::simulate(sim_graph, *schedule, sol.instance.initial(), sim_options);
   tracer.set_enabled(false);
 
   std::printf("algorithm: %s on %s (n = %u, radius r = %u)\n",
@@ -188,6 +218,13 @@ int main(int argc, char** argv) {
               sol.report.ok ? "OK" : sol.report.error.c_str());
   std::printf("simulation: %s, total time %zu\n",
               run.completed ? "completed" : "incomplete", run.total_time);
+  if (opt.comm != nullptr) {
+    std::printf("model: %s -- %zu structural rounds x round cost %zu = "
+                "%zu model rounds (stretch +%zu), %zu collided receives\n",
+                opt.comm->name().c_str(), adapted.structural_rounds,
+                opt.comm->round_cost(n), adapted.model_rounds,
+                adapted.stretch, run.collided_receives);
+  }
   if (opt.drop_rate > 0.0) {
     std::printf("faults: drop rate %.3f seed %llu -> %zu drops, "
                 "%zu skipped, %zu lost\n",
@@ -230,8 +267,10 @@ int main(int argc, char** argv) {
 
   // Theorem 1 gate: a fault-free ConcurrentUpDown timeline spans exactly
   // n + r rounds.  CI runs the viewer on the Petersen graph and relies on
-  // this exit status.
-  if (opt.algorithm == gossip::Algorithm::kConcurrentUpDown &&
+  // this exit status.  Model-cost runs stretch the round count by design,
+  // so the gate applies to the default (multicast) path only.
+  if (opt.comm == nullptr &&
+      opt.algorithm == gossip::Algorithm::kConcurrentUpDown &&
       opt.drop_rate == 0.0) {
     if (timeline.send_rounds() != static_cast<std::size_t>(n) + r) {
       std::fprintf(stderr,

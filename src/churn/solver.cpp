@@ -49,17 +49,20 @@ ApplyReport ChurnSolver::apply(const ChurnEvent& event) {
   }
 
   // 3. Incremental tree maintenance.
-  switch (event.kind) {
-    case EventKind::kAddEdge:
-      report.tree_report = tree_.on_edge_added(g, u, v);
-      break;
-    case EventKind::kRemoveEdge:
-      report.tree_report = tree_.on_edge_removed(g, u, v);
-      break;
-    case EventKind::kAddNode:
-    case EventKind::kRemoveNode:
-      report.tree_report = tree_.on_node_event(g);
-      break;
+  {
+    MG_OBS_SCOPE_HIST(retree_hist, "churn.retree_ns");
+    switch (event.kind) {
+      case EventKind::kAddEdge:
+        report.tree_report = tree_.on_edge_added(g, u, v);
+        break;
+      case EventKind::kRemoveEdge:
+        report.tree_report = tree_.on_edge_removed(g, u, v);
+        break;
+      case EventKind::kAddNode:
+      case EventKind::kRemoveNode:
+        report.tree_report = tree_.on_node_event(g);
+        break;
+    }
   }
 
   // 4. Reschedule: patch edge deltas, re-anchor everything else.
@@ -67,27 +70,31 @@ ApplyReport ChurnSolver::apply(const ChurnEvent& event) {
       static_cast<std::size_t>(g.vertex_count()) + tree_.radius();
   const bool node_event = event.kind == EventKind::kAddNode ||
                           event.kind == EventKind::kRemoveNode;
-  if (node_event) {
-    // The vertex universe (and the message-id space) changed: the old
-    // schedule is not patchable, by construction.
-    resolve();
-    report.resolved = true;
-  } else {
-    gossip::PatchResult patch = gossip::patch_schedule(g, schedule_, initial_);
-    const double stale_limit =
-        options_.stale_factor * static_cast<double>(report.fresh_bound);
-    if (!patch.complete ||
-        static_cast<double>(patch.schedule.total_time()) > stale_limit) {
-      // Accumulated repairs drifted past the staleness budget (or the
-      // patch could not complete): re-anchor on the maintained tree.
+  {
+    MG_OBS_SCOPE_HIST(patch_hist, "churn.patch_ns");
+    if (node_event) {
+      // The vertex universe (and the message-id space) changed: the old
+      // schedule is not patchable, by construction.
       resolve();
       report.resolved = true;
-      MG_OBS_ADD("churn.solver.reanchors", 1);
     } else {
-      schedule_ = std::move(patch.schedule);
-      report.patched = true;
-      ++stats_.patches;
-      MG_OBS_ADD("churn.solver.patches", 1);
+      gossip::PatchResult patch =
+          gossip::patch_schedule(g, schedule_, initial_);
+      const double stale_limit =
+          options_.stale_factor * static_cast<double>(report.fresh_bound);
+      if (!patch.complete ||
+          static_cast<double>(patch.schedule.total_time()) > stale_limit) {
+        // Accumulated repairs drifted past the staleness budget (or the
+        // patch could not complete): re-anchor on the maintained tree.
+        resolve();
+        report.resolved = true;
+        MG_OBS_ADD("churn.solver.reanchors", 1);
+      } else {
+        schedule_ = std::move(patch.schedule);
+        report.patched = true;
+        ++stats_.patches;
+        MG_OBS_ADD("churn.solver.patches", 1);
+      }
     }
   }
   report.schedule_time = schedule_.total_time();

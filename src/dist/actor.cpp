@@ -43,7 +43,8 @@ ProcessorActor::ProcessorActor(Vertex self, Vertex n, Message initial,
       n_(n),
       neighbors_(std::move(neighbors)),
       rule_(std::move(rule)),
-      holds_(n) {
+      holds_(n),
+      first_trace_(n, 0) {
   holds_.set(initial);
 }
 
@@ -51,6 +52,10 @@ void ProcessorActor::absorb(std::size_t t,
                             const std::vector<Envelope>& inbox) {
   for (const Envelope& e : inbox) {
     if (e.kind != Envelope::Kind::kData) continue;
+    if (!holds_.test(e.message)) {
+      first_trace_[e.message] = e.trace;
+      last_trace_ = e.trace;
+    }
     holds_.set(e.message);
     rule_->observe(t, e.message, e.from_parent);
   }
@@ -62,6 +67,7 @@ Outbox ProcessorActor::step_main(std::size_t t,
   Outbox out;
   if (auto tx = rule_->decide(t)) {
     if (holds_.test(tx->message)) {
+      out.data_cause = first_trace_[tx->message];
       out.data = std::move(tx);
     } else {
       // Physical constraint: the rule scheduled a relay of a message this
@@ -75,12 +81,18 @@ Outbox ProcessorActor::step_main(std::size_t t,
 
 void ProcessorActor::learn(const std::vector<Envelope>& inbox) {
   for (const Envelope& e : inbox) {
-    if (e.kind == Envelope::Kind::kData) holds_.set(e.message);
+    if (e.kind != Envelope::Kind::kData) continue;
+    if (!holds_.test(e.message)) {
+      first_trace_[e.message] = e.trace;
+      last_trace_ = e.trace;
+    }
+    holds_.set(e.message);
   }
 }
 
 Outbox ProcessorActor::step_digest() {
   Outbox out;
+  out.control_cause = last_trace_;
   Envelope digest;
   digest.kind = Envelope::Kind::kDigest;
   digest.sender = self_;
@@ -105,6 +117,7 @@ Outbox ProcessorActor::step_grant(const std::vector<Envelope>& inbox) {
   Vertex best = graph::kNoVertex;
   std::size_t best_offered = 0;
   Message best_request = 0;
+  std::uint64_t best_trace = 0;
   for (const Envelope& e : inbox) {
     if (e.kind != Envelope::Kind::kDigest) continue;
     std::size_t offered = 0;
@@ -124,11 +137,13 @@ Outbox ProcessorActor::step_grant(const std::vector<Envelope>& inbox) {
       best = e.sender;
       best_offered = offered;
       best_request = lowest;
+      best_trace = e.trace;
     }
   }
   if (best_offered == 0) return out;  // nothing wanted is on offer: quiesce
 
   quiescent_ = false;
+  out.control_cause = best_trace;  // the digest that won the reservation
   Envelope grant;
   grant.kind = Envelope::Kind::kGrant;
   grant.sender = self_;
@@ -161,6 +176,7 @@ Outbox ProcessorActor::step_data(const std::vector<Envelope>& inbox) {
   tx.sender = self_;
   tx.receivers = std::move(winner->second);
   std::sort(tx.receivers.begin(), tx.receivers.end());
+  out.data_cause = first_trace_[tx.message];
   out.data = std::move(tx);
   return out;
 }

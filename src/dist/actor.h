@@ -99,12 +99,18 @@ class TimetableRule final : public LocalRule {
 };
 
 /// What an actor wants to put on the wire this round; the runtime applies
-/// the fault plan and routes it.
+/// the fault plan, stamps trace ids, and routes it.
 struct Outbox {
   std::optional<model::Transmission> data;  ///< main-phase or recovery data
   bool skipped = false;  ///< rule fired but the message was never received
   std::vector<Envelope> control;            ///< digests / grants
   std::vector<graph::Vertex> control_to;    ///< parallel to `control`
+  /// Causal parent of `data`: the trace id of the arrival that first gave
+  /// this actor the message it is sending (0 = held initially).
+  std::uint64_t data_cause = 0;
+  /// Causal parent of the `control` batch: for a digest fan-out, the most
+  /// recent hold-changing data arrival; for a grant, the chosen digest.
+  std::uint64_t control_cause = 0;
 };
 
 class ProcessorActor {
@@ -150,12 +156,22 @@ class ProcessorActor {
   /// neighbor — this actor's local quiescence vote.
   [[nodiscard]] bool quiescent() const { return quiescent_; }
 
+  /// Trace id of the arrival that first delivered `m` here (0 = initial
+  /// message or not yet held) — the causal parent of any later relay.
+  [[nodiscard]] std::uint64_t first_trace(model::Message m) const {
+    return first_trace_[m];
+  }
+
  private:
   graph::Vertex self_;
   graph::Vertex n_;
   std::vector<graph::Vertex> neighbors_;
   std::unique_ptr<LocalRule> rule_;
   DynamicBitset holds_;
+  /// first_trace_[m]: trace id of the first data arrival carrying m.
+  std::vector<std::uint64_t> first_trace_;
+  /// Most recent hold-changing data arrival — the digest's causal parent.
+  std::uint64_t last_trace_ = 0;
   bool quiescent_ = true;
 };
 

@@ -41,6 +41,12 @@ struct Envelope {
   /// link-local context the §4 online rule needs (o-stream vs child
   /// deliveries).  Meaningless for control envelopes.
   bool from_parent = false;
+  /// Trace id of the logical transmission this envelope belongs to,
+  /// stamped by the runtime's capture phase (0 = untraced).  Every
+  /// envelope of one multicast shares one id.  Not part of the canonical
+  /// delivery order — ids are themselves deterministic under a fixed seed,
+  /// but actors must not decide from them.
+  std::uint64_t trace = 0;
   std::vector<std::uint64_t> digest;  ///< hold bitmap words for kDigest
 };
 

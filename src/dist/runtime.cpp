@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <sstream>
+#include <unordered_map>
 
 #include "gossip/online.h"
+#include "obs/causal.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "support/contracts.h"
@@ -15,6 +17,23 @@ namespace mg::dist {
 
 using graph::Vertex;
 using model::Message;
+
+namespace {
+
+/// Mirrors one happens-before link into the global causal ring (a single
+/// relaxed load while the tracer is disabled; nothing at all when the
+/// build compiled observability out).
+void mirror_causal(const CausalLink& link) {
+#if MG_OBS_ENABLED
+  obs::CausalTracer::global().try_record(
+      {link.id, link.parent, static_cast<std::uint32_t>(link.kind),
+       link.round, link.sender, link.message, link.fanout});
+#else
+  (void)link;
+#endif
+}
+
+}  // namespace
 
 struct ActorRuntime::Impl {
   const gossip::Instance* instance;
@@ -117,6 +136,10 @@ RunReport ActorRuntime::run(std::size_t horizon) {
   // (receiver, delay, envelope) triples the route phase posts concurrently,
   // pre-partitioned by sender so workers never share a slot.
   std::vector<std::vector<std::tuple<Vertex, std::size_t, Envelope>>> wire(n);
+  // Trace ids for the happens-before record: one per logical transmission
+  // (data multicast, digest fan-out, grant), assigned in the serial
+  // capture phases, so ids are deterministic under a fixed seed.
+  std::uint64_t next_trace = 0;
 
   auto route_wire = [&] {
     im.for_each_actor([&](std::size_t v) {
@@ -155,8 +178,14 @@ RunReport ActorRuntime::run(std::size_t horizon) {
       return;
     }
     ++report.messages;
+    const std::uint64_t id = ++next_trace;
+    report.causal.push_back({id, out[v].data_cause,
+                             main_phase ? CausalLink::Kind::kData
+                                        : CausalLink::Kind::kRepair,
+                             abs_t, v, tx.message, tx.receivers.size()});
+    mirror_causal(report.causal.back());
     im.emit({"send", abs_t, v, tx.message, first_receiver,
-                      tx.receivers.size()});
+             tx.receivers.size(), id, out[v].data_cause});
     into.add(local_t, tx);
     for (const Vertex r : tx.receivers) {
       const std::size_t extra =
@@ -168,11 +197,12 @@ RunReport ActorRuntime::run(std::size_t horizon) {
         continue;
       }
       ++report.deliveries;
-      im.emit({"receive", arrival, r, tx.message, v, 0});
+      im.emit({"receive", arrival, r, tx.message, v, 0, id, 0});
       Envelope e;
       e.kind = Envelope::Kind::kData;
       e.sender = v;
       e.message = tx.message;
+      e.trace = id;
       // The one bit of link context the §4 online rule distinguishes:
       // whether this delivery rides the o-stream from the tree parent.
       e.from_parent = !tree.is_root(r) && tree.parent(r) == v && main_phase;
@@ -246,6 +276,16 @@ RunReport ActorRuntime::run(std::size_t horizon) {
       if (all_live_complete(abs_t)) break;
       for (Vertex v = 0; v < n; ++v) {
         report.control_messages += out[v].control.size();
+        if (!out[v].control.empty()) {
+          // One id per digest fan-out: a multicast is one logical message.
+          const std::uint64_t id = ++next_trace;
+          report.causal.push_back({id, out[v].control_cause,
+                                   CausalLink::Kind::kDigest, abs_t,
+                                   static_cast<Vertex>(v), 0,
+                                   out[v].control.size()});
+          mirror_causal(report.causal.back());
+          for (Envelope& e : out[v].control) e.trace = id;
+        }
         for (std::size_t c = 0; c < out[v].control.size(); ++c) {
           // Control envelopes to dead receivers just evaporate.
           if (live_at(out[v].control_to[c], abs_t)) {
@@ -267,6 +307,16 @@ RunReport ActorRuntime::run(std::size_t horizon) {
       bool any_grant = false;
       for (Vertex v = 0; v < n; ++v) {
         report.control_messages += out[v].control.size();
+        if (!out[v].control.empty()) {
+          const std::uint64_t id = ++next_trace;
+          report.causal.push_back({id, out[v].control_cause,
+                                   CausalLink::Kind::kGrant, abs_t,
+                                   static_cast<Vertex>(v),
+                                   out[v].control.front().message,
+                                   out[v].control.size()});
+          mirror_causal(report.causal.back());
+          for (Envelope& e : out[v].control) e.trace = id;
+        }
         for (std::size_t c = 0; c < out[v].control.size(); ++c) {
           if (live_at(out[v].control_to[c], abs_t)) {
             any_grant = true;
@@ -358,6 +408,7 @@ RunReport ActorRuntime::run(std::size_t horizon) {
     }
   }
 
+  MG_OBS_ADD("dist.causal_links", report.causal.size());
   MG_OBS_ADD("dist.runs", 1);
   MG_OBS_ADD("dist.rounds", horizon);
   MG_OBS_ADD("dist.recovery.rounds", report.recovery_rounds);
@@ -369,6 +420,43 @@ RunReport ActorRuntime::run(std::size_t horizon) {
   MG_OBS_ADD("dist.skipped_sends", report.skipped_sends);
   MG_OBS_ADD("dist.lost_receives", report.lost_receives);
   return report;
+}
+
+CriticalPath critical_path(const RunReport& report) {
+  CriticalPath path;
+  std::unordered_map<std::uint64_t, const CausalLink*> by_id;
+  by_id.reserve(report.causal.size());
+  for (const CausalLink& link : report.causal) by_id.emplace(link.id, &link);
+
+  // The chain tip: the data hop with the latest arrival (send round + 1).
+  // Control hops never extend past their cycle's data round, so only data
+  // and repair links compete; ties prefer the later-captured link so a
+  // recovery tail, when present, is the chain reported.
+  const CausalLink* tip = nullptr;
+  for (const CausalLink& link : report.causal) {
+    if (link.kind != CausalLink::Kind::kData &&
+        link.kind != CausalLink::Kind::kRepair) {
+      continue;
+    }
+    if (tip == nullptr || link.round > tip->round ||
+        (link.round == tip->round && link.id > tip->id)) {
+      tip = &link;
+    }
+  }
+  if (tip == nullptr) return path;
+  path.length = tip->round + 1;
+
+  // Walk parents to the root.  A parent's id is always smaller than its
+  // child's (the enabling arrival was captured before the send), so the
+  // walk terminates; a parent evicted from the record ends the chain.
+  for (const CausalLink* hop = tip; hop != nullptr;) {
+    path.hops.push_back(*hop);
+    if (hop->parent == 0) break;
+    const auto it = by_id.find(hop->parent);
+    hop = it == by_id.end() ? nullptr : it->second;
+  }
+  std::reverse(path.hops.begin(), path.hops.end());
+  return path;
 }
 
 VerifyReport verify_against_schedule(const model::Schedule& central,

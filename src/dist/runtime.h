@@ -65,6 +65,28 @@ struct RuntimeOptions {
   obs::TraceSink* sink = nullptr;
 };
 
+/// One logical transmission in the happens-before record.  `id`s are
+/// 1-based and process-unique within one run; `parent` is the trace id of
+/// the transmission whose arrival made this send informative — for data
+/// sends the arrival that first delivered the payload to the sender (0 =
+/// the sender held it initially: a root cause), for digests the most
+/// recent hold-changing data arrival, for grants the chosen digest.
+struct CausalLink {
+  enum class Kind : std::uint8_t {
+    kData = 0,    ///< main-phase data multicast
+    kRepair = 1,  ///< recovery data round
+    kDigest = 2,  ///< recovery digest fan-out
+    kGrant = 3,   ///< recovery grant
+  };
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  Kind kind = Kind::kData;
+  std::size_t round = 0;  ///< absolute send round
+  graph::Vertex sender = 0;
+  model::Message message = 0;  ///< payload (data), requested id (grant)
+  std::size_t fanout = 0;
+};
+
 /// What one distributed run produced.
 struct RunReport {
   /// Transmissions that actually hit the wire in rounds 0..horizon-1.  On
@@ -91,7 +113,34 @@ struct RunReport {
   std::vector<std::size_t> missing;     ///< per-actor missing counts
   std::vector<DynamicBitset> main_holds;   ///< hold sets at end of main phase
   std::vector<DynamicBitset> final_holds;  ///< hold sets at end of run
+  /// Happens-before record: one link per transmission that hit the wire
+  /// (data, repair data, digest, grant), in capture order.  Always
+  /// recorded — `critical_path` works with MG_OBS compiled out; the same
+  /// links are mirrored into the global obs::CausalTracer ring when it is
+  /// enabled, for the Chrome-trace flow export.
+  std::vector<CausalLink> causal;
 };
+
+/// The longest causal chain in a run's happens-before record: the lower
+/// bound on the rounds the run *had* to take given where information
+/// actually flowed.
+struct CriticalPath {
+  /// Arrival time of the chain's last data hop (its send round + 1).  On a
+  /// fault-free ConcurrentUpDown run this equals n + r exactly (the
+  /// Theorem 1 bound is causally tight); under injected drops it grows by
+  /// precisely the recovery data rounds executed.
+  std::size_t length = 0;
+  /// The chain, root first.  Every hop's parent is the previous hop, the
+  /// first hop's parent is 0 (a message held initially), and rounds are
+  /// strictly increasing.
+  std::vector<CausalLink> hops;
+};
+
+/// Extracts the longest causal chain from `report.causal`.  Data hops
+/// determine the length (control hops never extend arrival time past
+/// their cycle's data round); ties prefer the later-captured link so the
+/// recovery tail, when present, is the chain reported.
+[[nodiscard]] CriticalPath critical_path(const RunReport& report);
 
 class ActorRuntime {
  public:

@@ -1,0 +1,135 @@
+#include "obs/exposition.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace mg::obs {
+
+std::string prometheus_name(std::string_view raw) {
+  std::string name;
+  name.reserve(raw.size() + 1);
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    name.push_back(ok ? c : '_');
+  }
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    name.insert(name.begin(), '_');
+  }
+  return name;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+PrometheusExposition::PrometheusExposition(
+    std::vector<std::pair<std::string, std::string>> labels,
+    std::string prefix)
+    : labels_(std::move(labels)), prefix_(std::move(prefix)) {
+  std::sort(labels_.begin(), labels_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+std::string PrometheusExposition::label_block(std::string_view extra_key,
+                                              std::string_view extra_value) const {
+  if (labels_.empty() && extra_key.empty()) return {};
+  std::string block = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels_) {
+    if (!first) block.push_back(',');
+    first = false;
+    block += prometheus_name(key);
+    block += "=\"";
+    block += prometheus_label_escape(value);
+    block += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) block.push_back(',');
+    block += extra_key;
+    block += "=\"";
+    block += extra_value;
+    block += '"';
+  }
+  block.push_back('}');
+  return block;
+}
+
+void PrometheusExposition::expose(const Snapshot& snapshot,
+                                  std::ostream& out) const {
+  const std::string labels = label_block();
+  for (const auto& [raw, value] : snapshot.counters) {
+    const std::string name = prefix_ + prometheus_name(raw);
+    out << "# TYPE " << name << " counter\n";
+    out << name << labels << ' ' << value << '\n';
+  }
+  // Timers expose as quantile-free summaries: total time + span count.
+  for (const auto& [raw, timer] : snapshot.timers) {
+    const std::string name = prefix_ + prometheus_name(raw);
+    out << "# TYPE " << name << " summary\n";
+    out << name << "_sum" << labels << ' ' << timer.total_ns << '\n';
+    out << name << "_count" << labels << ' ' << timer.count << '\n';
+  }
+  for (const auto& [raw, hist] : snapshot.histograms) {
+    const std::string name = prefix_ + prometheus_name(raw);
+    out << "# TYPE " << name << " histogram\n";
+    // Cumulative `le` series from the non-empty log buckets; the +Inf
+    // bucket always closes the series at the full count.
+    std::uint64_t cumulative = 0;
+    for (const auto& [upper, bucket_count] : hist.buckets) {
+      cumulative += bucket_count;
+      if (upper == ~std::uint64_t{0}) break;  // folds into +Inf below
+      out << name << "_bucket" << label_block("le", std::to_string(upper))
+          << ' ' << cumulative << '\n';
+    }
+    out << name << "_bucket" << label_block("le", "+Inf") << ' ' << hist.count
+        << '\n';
+    out << name << "_sum" << labels << ' ' << hist.sum << '\n';
+    out << name << "_count" << labels << ' ' << hist.count << '\n';
+  }
+}
+
+void JsonExposition::expose(const Snapshot& snapshot,
+                            std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snapshot.counters) w.field(name, v);
+  w.end_object();
+  w.key("timers").begin_object();
+  for (const auto& [name, t] : snapshot.timers) {
+    w.key(name).begin_object();
+    w.field("total_ns", t.total_ns);
+    w.field("count", t.count);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    w.key(name).begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.p50);
+    w.field("p90", h.p90);
+    w.field("p99", h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace mg::obs

@@ -1,0 +1,88 @@
+// Telemetry exposition: transport-agnostic rendering of a registry
+// Snapshot into a wire format a scraper understands.
+//
+// `ExpositionSink` is the interface the future mg::net daemon mounts on a
+// /metrics-style endpoint: it turns a point-in-time Snapshot into bytes
+// plus a content type, and knows nothing about sockets, files, or the
+// sampler that produced the snapshot.  Two implementations ship:
+//
+//  * `PrometheusExposition` — the Prometheus text exposition format
+//    (version 0.0.4): counters, timers as summaries (`_sum` / `_count`),
+//    and histograms with *cumulative* `_bucket{le="..."}` series built
+//    from the log-bucket bounds the Histogram already publishes
+//    (HistogramSnapshot::buckets).  Metric names are sanitized
+//    (`engine.cache.hits` → `mg_engine_cache_hits`), label values are
+//    escaped per the spec (backslash, double quote, newline), and output
+//    ordering is byte-stable across runs: the snapshot's maps are sorted
+//    by name and static labels are sorted by key at construction.
+//
+//  * `JsonExposition` — the registry's existing JSON shape
+//    ({"counters": .., "timers": .., "histograms": ..}), for consumers
+//    that already parse BENCH_*.json-style documents.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace mg::obs {
+
+/// Sanitized Prometheus metric name: every character outside
+/// [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_' prefix.
+/// The caller prepends its namespace prefix (e.g. "mg_").
+[[nodiscard]] std::string prometheus_name(std::string_view raw);
+
+/// Escapes a label value per the text exposition format: backslash,
+/// double quote, and newline become \\, \", and \n.
+[[nodiscard]] std::string prometheus_label_escape(std::string_view value);
+
+class ExpositionSink {
+ public:
+  virtual ~ExpositionSink() = default;
+
+  /// MIME type for the bytes `expose` writes.
+  [[nodiscard]] virtual std::string_view content_type() const = 0;
+
+  /// Renders `snapshot` onto `out`.
+  virtual void expose(const Snapshot& snapshot, std::ostream& out) const = 0;
+};
+
+class PrometheusExposition final : public ExpositionSink {
+ public:
+  /// `labels` are attached to every series (sorted by key here, values
+  /// escaped at write time); `prefix` must itself be a valid metric-name
+  /// prefix (it is not sanitized).
+  explicit PrometheusExposition(
+      std::vector<std::pair<std::string, std::string>> labels = {},
+      std::string prefix = "mg_");
+
+  [[nodiscard]] std::string_view content_type() const override {
+    return "text/plain; version=0.0.4; charset=utf-8";
+  }
+
+  void expose(const Snapshot& snapshot, std::ostream& out) const override;
+
+ private:
+  /// Renders "{k1=\"v1\",k2=\"v2\"}" with `extra` appended last; empty
+  /// string when there are no labels at all.
+  [[nodiscard]] std::string label_block(
+      std::string_view extra_key = {}, std::string_view extra_value = {}) const;
+
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::string prefix_;
+};
+
+class JsonExposition final : public ExpositionSink {
+ public:
+  [[nodiscard]] std::string_view content_type() const override {
+    return "application/json";
+  }
+
+  void expose(const Snapshot& snapshot, std::ostream& out) const override;
+};
+
+}  // namespace mg::obs

@@ -4,7 +4,7 @@
 #include <ostream>
 #include <sstream>
 
-#include "obs/json.h"
+#include "obs/exposition.h"
 
 namespace mg::obs {
 
@@ -83,34 +83,9 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::write_json(std::ostream& out) const {
-  const Snapshot snap = snapshot();
-  JsonWriter w(out);
-  w.begin_object();
-  w.key("counters").begin_object();
-  for (const auto& [name, v] : snap.counters) w.field(name, v);
-  w.end_object();
-  w.key("timers").begin_object();
-  for (const auto& [name, t] : snap.timers) {
-    w.key(name).begin_object();
-    w.field("total_ns", t.total_ns);
-    w.field("count", t.count);
-    w.end_object();
-  }
-  w.end_object();
-  w.key("histograms").begin_object();
-  for (const auto& [name, h] : snap.histograms) {
-    w.key(name).begin_object();
-    w.field("count", h.count);
-    w.field("sum", h.sum);
-    w.field("min", h.min);
-    w.field("max", h.max);
-    w.field("p50", h.p50);
-    w.field("p90", h.p90);
-    w.field("p99", h.p99);
-    w.end_object();
-  }
-  w.end_object();
-  w.end_object();
+  // The JSON shape lives in one place: the exposition sink the mg::net
+  // daemon will mount serves exactly what this always wrote.
+  JsonExposition().expose(snapshot(), out);
 }
 
 std::string Registry::to_json() const {

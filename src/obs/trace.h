@@ -26,6 +26,13 @@ struct TraceEvent {
   std::uint64_t message = 0;  ///< message id
   std::uint64_t peer = 0;     ///< first receiver for sends; sender otherwise
   std::uint64_t fanout = 0;   ///< |D| for send-like kinds; 0 otherwise
+  /// Causal stamps (0 = unstamped): `trace` is the logical transmission's
+  /// process-unique id ("send") or the delivering transmission's id
+  /// ("receive"); `cause` is the id of the transmission whose arrival made
+  /// this send informative — the happens-before parent the causal tracer
+  /// and `dist::critical_path` follow.
+  std::uint64_t trace = 0;
+  std::uint64_t cause = 0;
 };
 
 class TraceSink {
@@ -68,6 +75,8 @@ class JsonLinesTraceSink final : public TraceSink {
     w.field("message", event.message);
     w.field("peer", event.peer);
     if (event.fanout != 0) w.field("fanout", event.fanout);
+    if (event.trace != 0) w.field("trace", event.trace);
+    if (event.cause != 0) w.field("cause", event.cause);
     w.end_object();
     out_ << '\n';
   }

@@ -7,11 +7,18 @@
 // monotonic timebase; every span carries its thread lane and nesting depth
 // (as an arg), so the rendered timeline shows the same bracketing the
 // ScopeSpan guards produced.
+// Causal flow layering: `write_chrome_trace` overloads taking
+// CausalTracer events render each logical transmission as a slice on its
+// own process lane (pid 2, tid = sending node, ts = round in fake
+// milliseconds) and each happens-before edge as a `ph:"s"` / `ph:"f"` flow
+// pair binding the parent slice to the child slice — Perfetto draws the
+// arrows the `mg::dist` critical path follows.
 #pragma once
 
 #include <iosfwd>
 #include <vector>
 
+#include "obs/causal.h"
 #include "obs/span.h"
 
 namespace mg::obs {
@@ -23,6 +30,14 @@ void write_chrome_trace(std::ostream& out,
 
 /// Snapshot + export shorthand for a whole tracer.
 void write_chrome_trace(std::ostream& out, const SpanTracer& tracer,
+                        bool pretty = true);
+
+/// Writes `spans` (wall-clock lanes, pid 1) plus `flows` (causal lanes,
+/// pid 2; one slice per logical transmission, one flow arrow per
+/// happens-before edge).  Either vector may be empty.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<SpanTracer::Span>& spans,
+                        const std::vector<CausalTracer::Event>& flows,
                         bool pretty = true);
 
 }  // namespace mg::obs

@@ -56,6 +56,17 @@ SimResult run_simulation(const graph::Graph& g,
     total_known += known[v];
   }
 
+  // Causal stamps for sink events: a process-unique id per transmission
+  // that hits the wire, and per (node, message) the id of the first emitted
+  // delivery — the happens-before parent of any later relay by that node
+  // (0 = held initially).  Allocated only when a sink observes the run; the
+  // sink-free paths pay nothing.
+  std::uint64_t next_trace = 0;
+  std::vector<std::uint64_t> first_arrival(
+      options.sink != nullptr ? static_cast<std::size_t>(n) * message_count
+                              : 0,
+      0);
+
   const std::size_t rounds = schedule.round_count();
   const std::size_t horizon =
       rounds + (plan != nullptr ? plan->max_extra_delay() : 0);
@@ -138,9 +149,15 @@ SimResult run_simulation(const graph::Graph& g,
         result.trace.push_back(
             {SimEvent::Kind::kSend, t, tx.sender, tx.message, first_receiver});
       }
+      std::uint64_t send_trace = 0;
       if (options.sink != nullptr) {
-        options.sink->on_event({"send", t, tx.sender, tx.message,
-                                first_receiver, tx.receivers.size()});
+        send_trace = ++next_trace;
+        options.sink->on_event(
+            {"send", t, tx.sender, tx.message, first_receiver,
+             tx.receivers.size(), send_trace,
+             first_arrival[static_cast<std::size_t>(tx.sender) *
+                               message_count +
+                           tx.message]});
       }
       for (Vertex r : tx.receivers) {
         if (collisions && (last_tx[r] == t || heard_count[r] >= 2)) {
@@ -173,7 +190,12 @@ SimResult run_simulation(const graph::Graph& g,
         }
         if (options.sink != nullptr) {
           options.sink->on_event({"receive", arrival, r, tx.message,
-                                  tx.sender, 0});
+                                  tx.sender, 0, send_trace});
+          const std::size_t fa =
+              static_cast<std::size_t>(r) * message_count + tx.message;
+          if (first_arrival[fa] == 0 && !hold[r].test(tx.message)) {
+            first_arrival[fa] = send_trace;
+          }
         }
         ++deliveries;
         in_flight[arrival].emplace_back(r, tx.message);
@@ -262,6 +284,14 @@ SimResult run_simulation_words(const graph::Graph& g,
 
   std::size_t total_known = 0;
   for (Vertex v = 0; v < n; ++v) total_known += known[v];
+
+  // Causal stamps for sink events — character-for-character the bit core's
+  // scheme (sim_core_test pins byte-identical JSONL between the cores).
+  std::uint64_t next_trace = 0;
+  std::vector<std::uint64_t> first_arrival(
+      options.sink != nullptr ? static_cast<std::size_t>(n) * message_count
+                              : 0,
+      0);
 
   const std::size_t rounds = schedule.round_count();
   const std::size_t max_delay = plan != nullptr ? plan->max_extra_delay() : 0;
@@ -405,9 +435,15 @@ SimResult run_simulation_words(const graph::Graph& g,
         result.trace.push_back(
             {SimEvent::Kind::kSend, t, tx.sender, tx.message, first_receiver});
       }
+      std::uint64_t send_trace = 0;
       if (options.sink != nullptr) {
-        options.sink->on_event({"send", t, tx.sender, tx.message,
-                                first_receiver, receivers.size()});
+        send_trace = ++next_trace;
+        options.sink->on_event(
+            {"send", t, tx.sender, tx.message, first_receiver,
+             receivers.size(), send_trace,
+             first_arrival[static_cast<std::size_t>(tx.sender) *
+                               message_count +
+                           tx.message]});
       }
       for (Vertex r : receivers) {
         MG_EXPECTS(r < n);
@@ -441,7 +477,13 @@ SimResult run_simulation_words(const graph::Graph& g,
         }
         if (options.sink != nullptr) {
           options.sink->on_event({"receive", arrival, r, tx.message,
-                                  tx.sender, 0});
+                                  tx.sender, 0, send_trace});
+          const std::size_t fa =
+              static_cast<std::size_t>(r) * message_count + tx.message;
+          if (first_arrival[fa] == 0 &&
+              !sender_holds_message(r, tx.message)) {
+            first_arrival[fa] = send_trace;
+          }
         }
         ++deliveries;
         ring[arrival & ring_mask].emplace_back(r, tx.message);

@@ -1,0 +1,245 @@
+// Causal tracing tests for the mg::dist actor runtime (ISSUE 10): the
+// happens-before record every run captures, the critical path extracted
+// from it, and its export as Chrome-trace flow events.
+//
+// The headline gates are exact, not approximate:
+//  * fault-free ConcurrentUpDown: critical_path().length == n + r — the
+//    Theorem 1 bound is causally tight (some chain of actual message hops
+//    spans the whole run);
+//  * under injected drops that force recovery: the length grows by
+//    precisely the recovery data rounds executed, n + r + recovery_rounds.
+//
+// Chain validity, capture completeness (one link per transmission on the
+// wire), the CausalTracer mirror, and the flow-trace JSON round-trip
+// through the shared test parser are checked alongside.  RunReport.causal
+// is always recorded (independent of MG_OBS), so everything except the
+// mirror test also gates the -DMG_OBS=OFF build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/runtime.h"
+#include "fault/fault.h"
+#include "graph/generators.h"
+#include "graph/named.h"
+#include "json_parser.h"
+#include "obs/causal.h"
+#include "obs/trace_export.h"
+#include "test_util.h"
+
+namespace mg::dist {
+namespace {
+
+using testjson::JsonValue;
+using testjson::Parser;
+
+/// Asserts the structural invariants of a reported critical path: the
+/// chain starts at a root (parent 0), every later hop's parent is the
+/// previous hop, and send rounds strictly increase along the chain.
+void expect_valid_chain(const CriticalPath& path) {
+  ASSERT_FALSE(path.hops.empty());
+  EXPECT_EQ(path.hops.front().parent, 0u) << "chain must start at a root";
+  for (std::size_t i = 1; i < path.hops.size(); ++i) {
+    EXPECT_EQ(path.hops[i].parent, path.hops[i - 1].id)
+        << "hop " << i << " must be enabled by the previous hop";
+    EXPECT_GT(path.hops[i].round, path.hops[i - 1].round)
+        << "rounds must strictly increase along the chain";
+  }
+}
+
+TEST(DistCausal, CriticalPathIsExactlyNPlusRFaultFree) {
+  const std::pair<std::string, graph::Graph> graphs[] = {
+      {"n1_cycle", graph::n1_cycle()},
+      {"petersen", graph::petersen()},
+      {"n3_witness", graph::n3_witness()},
+      {"fig4", graph::fig4_network()},
+  };
+  for (const auto& [name, g] : graphs) {
+    SCOPED_TRACE(name);
+    const DistOutcome outcome =
+        run_distributed(g, gossip::Algorithm::kConcurrentUpDown);
+    ASSERT_TRUE(outcome.run.complete);
+    ASSERT_EQ(outcome.run.recovery_rounds, 0u);
+    const std::size_t n = outcome.central.instance.vertex_count();
+    const std::size_t r = outcome.central.instance.radius();
+    const CriticalPath path = critical_path(outcome.run);
+    EXPECT_EQ(path.length, n + r) << "Theorem 1 must be causally tight";
+    expect_valid_chain(path);
+    EXPECT_EQ(path.hops.back().round + 1, path.length)
+        << "length is the last data hop's arrival time";
+  }
+}
+
+TEST(DistCausal, CriticalPathAcrossFamilies) {
+  for (const auto& family : test::families()) {
+    for (const graph::Vertex knob : {4u, 7u}) {
+      SCOPED_TRACE(family.name + " knob=" + std::to_string(knob));
+      const graph::Graph g = family.make(knob);
+      const DistOutcome outcome =
+          run_distributed(g, gossip::Algorithm::kConcurrentUpDown);
+      ASSERT_TRUE(outcome.run.complete);
+      const std::size_t n = outcome.central.instance.vertex_count();
+      const std::size_t r = outcome.central.instance.radius();
+      const CriticalPath path = critical_path(outcome.run);
+      EXPECT_EQ(path.length, n + r);
+      expect_valid_chain(path);
+    }
+  }
+}
+
+TEST(DistCausal, DropsLengthenByExactlyTheRecoveryRounds) {
+  // Deterministic early-round drops plus seeded probabilistic plans; any
+  // plan that forces recovery must lengthen the causal critical path by
+  // precisely the recovery data rounds the run executed.
+  struct Case {
+    std::string name;
+    fault::FaultPlan plan;
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"deterministic-drop-r0-s0", {}};
+    c.plan.drop(0, 0).drop(1, 0);
+    cases.push_back(std::move(c));
+  }
+  for (const std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    Case c{"rate-0.2-seed-" + std::to_string(seed), {}};
+    c.plan.drop_rate(0.2).seed(seed);
+    cases.push_back(std::move(c));
+  }
+
+  std::size_t recovered_runs = 0;
+  for (const auto& [name, plan] : cases) {
+    SCOPED_TRACE(name);
+    RuntimeOptions options;
+    options.faults = &plan;
+    const DistOutcome outcome = run_distributed(
+        graph::petersen(), gossip::Algorithm::kConcurrentUpDown, options);
+    ASSERT_TRUE(outcome.run.complete) << "recovery must finish the gossip";
+    const std::size_t n = outcome.central.instance.vertex_count();
+    const std::size_t r = outcome.central.instance.radius();
+    const CriticalPath path = critical_path(outcome.run);
+    EXPECT_EQ(path.length, n + r + outcome.run.recovery_rounds);
+    expect_valid_chain(path);
+    if (outcome.run.recovery_rounds > 0) ++recovered_runs;
+  }
+  EXPECT_GT(recovered_runs, 0u)
+      << "at least one plan must actually force recovery";
+}
+
+TEST(DistCausal, EveryWireTransmissionIsCaptured) {
+  // One causal link per transmission that hit the wire: data links match
+  // the emergent schedule exactly; ids are 1-based, unique, and in capture
+  // order; no link dangles (every parent is an earlier captured id).
+  const DistOutcome outcome =
+      run_distributed(graph::petersen(), gossip::Algorithm::kConcurrentUpDown);
+  const std::vector<CausalLink>& causal = outcome.run.causal;
+  ASSERT_FALSE(causal.empty());
+
+  std::size_t data_links = 0;
+  std::set<std::uint64_t> seen;
+  for (const CausalLink& link : causal) {
+    EXPECT_GE(link.id, 1u);
+    EXPECT_TRUE(seen.insert(link.id).second) << "duplicate trace id";
+    if (link.parent != 0) {
+      EXPECT_TRUE(seen.count(link.parent) != 0)
+          << "parent " << link.parent << " must be captured before "
+          << link.id;
+    }
+    if (link.kind == CausalLink::Kind::kData) ++data_links;
+  }
+  EXPECT_EQ(data_links, outcome.run.emergent.transmission_count());
+  EXPECT_EQ(causal.size(), outcome.run.messages + outcome.run.control_messages);
+}
+
+TEST(DistCausal, GlobalTracerMirrorsTheRunReport) {
+  // When the global CausalTracer is enabled, the runtime mirrors every
+  // captured link into the ring; with observability compiled out the ring
+  // must stay empty while RunReport.causal still carries the record.
+  obs::CausalTracer& tracer = obs::CausalTracer::global();
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_enabled(true);
+  const DistOutcome outcome =
+      run_distributed(graph::petersen(), gossip::Algorithm::kConcurrentUpDown);
+  tracer.set_enabled(false);
+
+  const std::vector<obs::CausalTracer::Event> mirrored = tracer.snapshot();
+  ASSERT_FALSE(outcome.run.causal.empty());
+  const bool compiled_in = MG_OBS_ENABLED != 0;
+  if (!compiled_in) {
+    EXPECT_TRUE(mirrored.empty());
+    return;
+  }
+  ASSERT_EQ(mirrored.size(), outcome.run.causal.size());
+  // snapshot() sorts by (time, id); compare as id-keyed sets of edges.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> report_edges;
+  for (const CausalLink& link : outcome.run.causal) {
+    report_edges.emplace(link.id, link.parent);
+  }
+  for (const obs::CausalTracer::Event& e : mirrored) {
+    EXPECT_TRUE(report_edges.count({e.id, e.parent}) != 0)
+        << "mirrored edge " << e.id << "<-" << e.parent
+        << " missing from the report";
+  }
+  tracer.clear();
+}
+
+TEST(DistCausal, FlowTraceRoundTripsThroughParser) {
+  // Export the run's happens-before record as Chrome-trace flow events and
+  // parse it back: one pid-2 slice per link, one "s"/"f" pair per edge,
+  // every flow id resolving to a slice with that id.
+  const DistOutcome outcome =
+      run_distributed(graph::petersen(), gossip::Algorithm::kConcurrentUpDown);
+  std::vector<obs::CausalTracer::Event> flows;
+  flows.reserve(outcome.run.causal.size());
+  std::size_t edges = 0;
+  for (const CausalLink& link : outcome.run.causal) {
+    flows.push_back({link.id, link.parent,
+                     static_cast<std::uint32_t>(link.kind), link.round,
+                     link.sender, link.message, link.fanout});
+    if (link.parent != 0) ++edges;
+  }
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, {}, flows);
+  const std::string text = out.str();
+  Parser parser(text);
+  const JsonValue doc = parser.parse();
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::Kind::kArray);
+
+  std::set<std::uint64_t> slice_ids;
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  for (const JsonValue& e : events.array) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "X") {
+      EXPECT_EQ(e.at("pid").as_u64(), 2u);
+      slice_ids.insert(e.at("args").at("id").as_u64());
+    } else if (ph == "s" || ph == "f") {
+      const std::uint64_t id = e.at("id").as_u64();
+      EXPECT_TRUE(slice_ids.count(id) != 0 ||
+                  id <= outcome.run.causal.size())
+          << "flow id " << id << " must name a captured transmission";
+      (ph == "s" ? starts : finishes) += 1;
+    }
+  }
+  EXPECT_EQ(slice_ids.size(), flows.size());
+  EXPECT_EQ(starts, edges);
+  EXPECT_EQ(finishes, edges);
+
+  // Every "s"/"f" id must be a rendered slice's id.
+  for (const JsonValue& e : events.array) {
+    const std::string& ph = e.at("ph").string;
+    if (ph == "s" || ph == "f") {
+      EXPECT_TRUE(slice_ids.count(e.at("id").as_u64()) != 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mg::dist
